@@ -1,0 +1,44 @@
+"""Shared fixtures for the reproduction benchmarks.
+
+Every benchmark prints a paper-style table.  pytest captures stdout, so
+tables are collected by the ``emit`` fixture and re-printed in the
+terminal summary (which is never captured) — that way
+``pytest benchmarks/ --benchmark-only | tee bench_output.txt`` records
+both the wall-clock benchmark stats and the reproduced tables/figures.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+_TABLES: list[str] = []
+
+
+@pytest.fixture
+def emit():
+    """Collect a rendered table for the end-of-run summary."""
+
+    def _emit(table: str) -> None:
+        _TABLES.append(table)
+        print(table)
+
+    return _emit
+
+
+def pytest_terminal_summary(terminalreporter):
+    if not _TABLES:
+        return
+    terminalreporter.write_sep("=", "reproduced tables and figures")
+    for table in _TABLES:
+        terminalreporter.write(table)
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _warm_datasets():
+    """Generate/load the datasets once so benchmarks measure systems,
+    not dataset generation."""
+    from repro.graph import load_dataset
+
+    for name in ("products", "papers", "friendster"):
+        load_dataset(name)
+    yield

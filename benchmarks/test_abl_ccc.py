@@ -1,0 +1,77 @@
+"""Ablation: centralized communication coordination on/off (paper §5).
+
+With one NCCL channel per GPU (collectives serialize on a stream) and
+per-GPU straggler skew, concurrent workers launch collectives in
+divergent orders and deadlock — Fig 8.  CCC fixes the launch order
+globally and the same workload completes; its ordering overhead is
+small.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.cost import OpCost
+from repro.core.pipeline import PipelineRunner
+from repro.hw import Cluster
+from repro.utils import DeadlockError
+
+K = 4
+
+
+def _skewed_batches(n, seed):
+    rng = np.random.default_rng(seed)
+
+    def local():
+        per = rng.uniform(0.02, 0.4, size=K)
+        return OpCost(label="k", per_gpu=per, stage=float(per.max()), threads=512)
+
+    def coll():
+        d = float(rng.uniform(0.1, 0.3))
+        return OpCost(label="c", per_gpu=np.full(K, d), stage=d, threads=128,
+                      collective=True)
+
+    return [
+        {
+            "sample": [local(), coll()],
+            "load": [local(), coll()],
+            "train": [local()],
+        }
+        for _ in range(n)
+    ]
+
+
+def test_ablation_ccc(benchmark, emit):
+    cluster = Cluster.dgx1(K)
+    trials = 12
+    deadlocks = 0
+    with_ccc_times = []
+    for seed in range(trials):
+        batches = _skewed_batches(8, seed)
+        try:
+            PipelineRunner(cluster, batches, ccc=False, comm_channels=1).run()
+        except DeadlockError:
+            deadlocks += 1
+        res = PipelineRunner(cluster, batches, ccc=True, comm_channels=1).run()
+        with_ccc_times.append(res.epoch_time)
+
+    from repro.bench import fmt_table
+
+    emit(fmt_table(
+        "Ablation: CCC, 12 random straggler patterns, 1 comm channel/GPU",
+        ["value"],
+        [
+            ("no-CCC deadlocks", [f"{deadlocks}/{trials}"]),
+            ("CCC deadlocks", ["0/12"]),
+            ("CCC mean epoch", [f"{np.mean(with_ccc_times):.3g}s"]),
+        ],
+    ))
+
+    assert deadlocks > 0  # Fig 8 is reproducible
+    assert all(t > 0 for t in with_ccc_times)  # CCC always completes
+
+    benchmark.pedantic(
+        lambda: PipelineRunner(
+            cluster, _skewed_batches(8, 0), ccc=True, comm_channels=1
+        ).run(),
+        rounds=3, iterations=1,
+    )

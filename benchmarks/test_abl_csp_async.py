@@ -1,0 +1,64 @@
+"""Ablation: synchronous fused CSP stages vs an asynchronous design.
+
+Paper §4.1: CSP is synchronous — each stage batches all tasks of a
+layer into one collective and one fused kernel.  The asynchronous
+alternative sends each task as it appears and runs each received task
+individually; it avoids the stage barrier but pays a per-message and
+per-kernel-launch overhead that dwarfs the savings ("observed to have
+poor efficiency as the communication and sampling tasks of a single GPU
+are small").
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import fmt_table, quick_mode
+from repro.core import RunConfig
+from repro.core.system import DSP
+from repro.hw.interconnect import NVLINK_LATENCY
+from repro.sampling.ops import AllToAll, LocalKernel
+
+#: per-message software cost of an eager (non-batched) send
+ASYNC_MESSAGE_OVERHEAD = 1.2e-6
+#: per-task kernel-launch cost when tasks are not fused
+ASYNC_LAUNCH_OVERHEAD = 2.0e-6
+
+
+def _times(dataset: str, batches: int = 3):
+    cfg = RunConfig(dataset=dataset, num_gpus=8)
+    dsp = DSP(cfg)
+    engine = dsp.engine
+    shrink = dsp.batch_shrink
+
+    t_sync = t_async = 0.0
+    for batch in dsp._global_batches()[:batches]:
+        per_gpu = dsp._assign_seeds(batch)
+        _, trace, stats = dsp.sampler.sample(per_gpu, dsp.csp_config)
+        t_sync += engine.stage_time(trace)
+        # async: same bytes and same sampling work, but one message per
+        # remote task and one kernel launch per task, minus the barrier
+        # (approximated as the collective launch overheads it saves)
+        t = engine.stage_time(trace)
+        remote_tasks = stats.tasks_total - stats.local_tasks
+        t += remote_tasks * 2 * ASYNC_MESSAGE_OVERHEAD * shrink  # there + back
+        t += stats.tasks_total * ASYNC_LAUNCH_OVERHEAD * shrink
+        n_barriers = sum(1 for op in trace if isinstance(op, AllToAll))
+        t -= n_barriers * engine.model.launch
+        t_async += max(t, 0.0)
+    return t_sync, t_async
+
+
+def test_ablation_csp_async(benchmark, emit):
+    dataset = "products" if quick_mode() else "papers"
+    sync, async_ = _times(dataset)
+
+    emit(fmt_table(
+        f"Ablation: CSP stage execution on {dataset}, 8 GPUs (sampling ms)",
+        ["time"],
+        [("sync+fused", [sync * 1e3]), ("async", [async_ * 1e3])],
+    ))
+
+    assert sync < async_  # fusing wins despite the barriers
+
+    benchmark.pedantic(lambda: _times(dataset, batches=1), rounds=1,
+                       iterations=1)

@@ -1,0 +1,55 @@
+"""Ablation: single vs multiple sampler/loader workers per GPU.
+
+Paper §5: DSP uses one worker instance per task.  Extra instances keep
+more mini-batches in flight, which (i) eats GPU memory that the feature
+cache needs and (ii) contends for CPU threads and GPU resources.
+Empirically the paper found multi-instance degrades overall
+performance.
+
+KNOWN DIVERGENCE (see EXPERIMENTS.md): our event simulator reproduces
+the memory cost (i) exactly, but does not model host-thread or HBM
+bandwidth contention (ii), so the *timing* side shows extra overlap
+instead of degradation.  The benchmark therefore asserts the memory
+effect and reports the timing for inspection.
+"""
+
+import pytest
+
+from repro.bench import fmt_table, quick_mode
+from repro.core import RunConfig, build_system
+
+
+def _epoch(dataset: str, workers: int):
+    cfg = RunConfig(
+        dataset=dataset,
+        num_gpus=8,
+        sampler_workers=workers,
+        loader_workers=workers,
+    )
+    system = build_system("DSP", cfg)
+    m = system.run_epoch(max_batches=10, functional=False)
+    return m, system.layout.store.total_cached
+
+
+def test_ablation_multi_worker(benchmark, emit):
+    # friendster is the memory-tight dataset where in-flight buffers
+    # visibly displace cached features
+    dataset = "friendster"
+    single, cache1 = _epoch(dataset, 1)
+    double, cache2 = _epoch(dataset, 2)
+
+    emit(fmt_table(
+        f"Ablation: worker instances per GPU on {dataset}, 8 GPUs",
+        ["epoch (ms)", "load (ms)", "cached vectors"],
+        [
+            ("1 worker", [single.epoch_time * 1e3, single.load_time * 1e3, cache1]),
+            ("2 workers", [double.epoch_time * 1e3, double.load_time * 1e3, cache2]),
+        ],
+    ))
+
+    # extra in-flight state shrinks the cache (the paper's memory cost)
+    assert cache2 < cache1
+    # the cache loss shows up as extra cold traffic
+    assert double.pcie_bytes >= single.pcie_bytes
+
+    benchmark.pedantic(lambda: _epoch(dataset, 2), rounds=1, iterations=1)

@@ -1,0 +1,56 @@
+"""Ablation: task-push vs data-pull communication *volume* (paper §4.1).
+
+Complements Fig 11 (time) with the byte counts behind it: pushing a
+sampling task moves one frontier id out and `fanout` sampled ids back;
+pulling moves the whole adjacency (and weight) list.
+"""
+
+import pytest
+
+from repro.bench import fmt_table, quick_mode
+from repro.core import RunConfig
+from repro.core.system import DSP
+from repro.sampling import CSPConfig, PullDataSampler
+
+
+def _volumes(dataset: str, biased: bool, batches: int = 3):
+    cfg = RunConfig(dataset=dataset, num_gpus=8, biased=biased)
+    dsp = DSP(cfg)
+    pull = PullDataSampler(
+        dsp.sampler.patches, dsp.sampler.part_offsets, seed=cfg.seed
+    )
+    push_bytes = pull_bytes = 0.0
+    for batch in dsp._global_batches()[:batches]:
+        per_gpu = dsp._assign_seeds(batch)
+        _, push_trace, _ = dsp.sampler.sample(per_gpu, dsp.csp_config)
+        _, pull_trace, _ = pull.sample(per_gpu, dsp.csp_config)
+        push_bytes += push_trace.nvlink_payload_bytes()
+        pull_bytes += pull_trace.nvlink_payload_bytes()
+    return push_bytes, pull_bytes
+
+
+def test_ablation_push_vs_pull(benchmark, emit):
+    dataset = "products" if quick_mode() else "friendster"
+    rows = []
+    ratios = {}
+    for biased in (False, True):
+        push, pull = _volumes(dataset, biased)
+        label = "biased" if biased else "unbiased"
+        ratios[label] = pull / push
+        rows.append((f"push/{label}", [push / 1e6]))
+        rows.append((f"pull/{label}", [pull / 1e6]))
+        rows.append((f"ratio/{label}", [pull / push]))
+
+    emit(fmt_table(
+        f"Ablation: NVLink payload, task push vs data pull on {dataset} (MB)",
+        ["volume"],
+        rows,
+    ))
+
+    # pulling whole adjacency lists moves several times the bytes, and
+    # biased sampling doubles the pull side (weights ride along)
+    assert ratios["unbiased"] > 1.5
+    assert ratios["biased"] > ratios["unbiased"] * 1.5
+
+    benchmark.pedantic(lambda: _volumes(dataset, False, batches=1),
+                       rounds=1, iterations=1)

@@ -1,0 +1,43 @@
+"""Ablation: pipeline queue capacity (paper §5: "capacity 2 is
+sufficient for overlapping the tasks")."""
+
+import pytest
+
+from repro.bench import fmt_table, quick_mode
+from repro.core import RunConfig, build_system
+
+CAPACITIES = (1, 2, 4, 8)
+
+
+def _epoch_times(dataset: str):
+    out = []
+    for cap in CAPACITIES:
+        cfg = RunConfig(dataset=dataset, num_gpus=8, queue_capacity=cap)
+        m = build_system("DSP", cfg).run_epoch(max_batches=10, functional=False)
+        out.append(m.epoch_time)
+    return out
+
+
+def test_ablation_queue_capacity(benchmark, emit):
+    dataset = "products" if quick_mode() else "papers"
+    times = _epoch_times(dataset)
+
+    emit(fmt_table(
+        f"Ablation: DSP queue capacity on {dataset}, 8 GPUs (epoch ms)",
+        [str(c) for c in CAPACITIES],
+        [("epoch", [t * 1e3 for t in times])],
+    ))
+
+    t1, t2, t4, t8 = times
+    # capacity 2 captures (nearly) all of the benefit of larger queues
+    assert t2 <= t1 * 1.001
+    assert t2 <= t4 * 1.05
+    assert t2 <= t8 * 1.05
+    assert t8 >= t2 * 0.9  # bigger queues buy nothing further
+
+    benchmark.pedantic(
+        lambda: build_system(
+            "DSP", RunConfig(dataset=dataset, num_gpus=8, queue_capacity=2)
+        ).run_epoch(max_batches=4, functional=False),
+        rounds=1, iterations=1,
+    )

@@ -1,0 +1,43 @@
+"""Figure 2: kernel execution speed vs allocated physical threads.
+
+The graph-sampling and feature-loading kernels stop speeding up well
+before the V100's 5120 threads — they are memory bound.  We print the
+speed (work/second, normalized to the fully-saturated rate) over the
+thread counts on the paper's x-axis.
+"""
+
+from repro.bench import fmt_table
+from repro.hw import GPUSpec, kernel_duration
+from repro.hw.kernels import gather_kernel, sampling_kernel
+
+THREADS = [256, 512, 1024, 2048, 3072, 4096, 5120]
+
+
+def _speed_curve(spec):
+    times = [kernel_duration(spec, t) for t in THREADS]
+    fastest = min(times)
+    return [fastest / t for t in times]
+
+
+def test_fig2_kernel_scaling(benchmark, emit):
+    gpu = GPUSpec()
+    sample = sampling_kernel(gpu, num_tasks=200_000, fanout=10)
+    gather = gather_kernel(gpu, nbytes=256 * 1024 * 1024)
+    s_curve = _speed_curve(sample)
+    g_curve = _speed_curve(gather)
+
+    emit(fmt_table(
+        "Figure 2: kernel speed vs threads (1.0 = saturated), V100 = 5120 threads",
+        [str(t) for t in THREADS],
+        [("sampling", s_curve), ("loading", g_curve)],
+    ))
+
+    # the paper's observation: speed stabilizes before all threads
+    assert s_curve[THREADS.index(1024)] > 0.99  # sampling saturates ~1k
+    assert g_curve[THREADS.index(2048)] > 0.99  # loading saturates ~2k
+    assert s_curve[0] < 0.5  # but it is not flat from the start
+
+    benchmark.pedantic(
+        lambda: [kernel_duration(sample, t) for t in THREADS],
+        rounds=5, iterations=100,
+    )

@@ -1,0 +1,47 @@
+"""Figure 12: speedup of DSP (pipelined) over DSP-Seq in epoch time.
+
+The paper reports modest gains at 1 GPU growing to >1.5x at 8 GPUs for
+all three datasets: more GPUs mean lighter kernels and relatively more
+communication, so there is more to overlap.
+"""
+
+import pytest
+
+from repro.bench import DATASETS, GPU_COUNTS, fmt_table, quick_mode
+from repro.core import RunConfig, build_system
+
+
+def _speedup(dataset: str, k: int, batches: int = 10):
+    cfg = RunConfig(dataset=dataset, num_gpus=k)
+    seq = build_system("DSP-Seq", cfg).run_epoch(
+        max_batches=batches, functional=False
+    )
+    pipe = build_system("DSP", cfg).run_epoch(
+        max_batches=batches, functional=False
+    )
+    return seq.epoch_time / pipe.epoch_time
+
+
+def test_fig12_pipeline_speedup(benchmark, emit):
+    datasets = DATASETS[:1] if quick_mode() else DATASETS
+    gpu_counts = (1, 8) if quick_mode() else GPU_COUNTS
+    rows = []
+    speedups = {}
+    for ds in datasets:
+        speedups[ds] = [_speedup(ds, k) for k in gpu_counts]
+        rows.append((ds, [f"{s:.2f}x" for s in speedups[ds]]))
+
+    emit(fmt_table(
+        "Figure 12: speedup of DSP over DSP-Seq in epoch time",
+        [f"{k}-GPU" for k in gpu_counts],
+        rows,
+    ))
+
+    for ds in datasets:
+        s = speedups[ds]
+        assert all(x >= 0.97 for x in s)  # never slower
+        assert s[-1] > s[0]  # gain grows with GPU count
+        assert s[-1] > 1.15  # clear gain at 8 GPUs
+
+    benchmark.pedantic(lambda: _speedup(datasets[0], 8, batches=4),
+                       rounds=1, iterations=1)

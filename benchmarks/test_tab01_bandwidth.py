@@ -1,0 +1,36 @@
+"""Table 1: aggregate NVLink / PCIe bandwidth of the DGX-1 vs GPU count.
+
+Paper values (GB/s):  PCIe 32/32/64/128, NVLink 0/100/400/1200.
+"""
+
+from repro.bench import GPU_COUNTS, fmt_table
+from repro.hw import Topology
+from repro.utils import GB
+
+PAPER = {
+    "PCIe": [32, 32, 64, 128],
+    "NVLink": [0, 100, 400, 1200],
+}
+
+
+def test_table1_bandwidth(benchmark, emit):
+    topos = {k: Topology.dgx1(k) for k in GPU_COUNTS}
+    pcie = [topos[k].aggregate_pcie_bandwidth() / GB for k in GPU_COUNTS]
+    nvlink = [topos[k].aggregate_nvlink_bandwidth() / GB for k in GPU_COUNTS]
+
+    emit(fmt_table(
+        "Table 1: aggregate bandwidth (GB/s) on the DGX-1 model",
+        [f"{k}-GPU" for k in GPU_COUNTS],
+        [
+            ("PCIe", pcie),
+            ("  paper", PAPER["PCIe"]),
+            ("NVLink", nvlink),
+            ("  paper", PAPER["NVLink"]),
+        ],
+    ))
+    for got, want in zip(pcie, PAPER["PCIe"]):
+        assert got == want
+    for got, want in zip(nvlink, PAPER["NVLink"]):
+        assert got == want
+
+    benchmark.pedantic(lambda: Topology.dgx1(8), rounds=5, iterations=10)

@@ -1,0 +1,64 @@
+"""Table 6: per-epoch sampling time, 5 systems x 3 datasets x GPU counts.
+
+As in the paper, the sampler is measured in isolation (its stage time,
+without pipeline interference).
+"""
+
+import pytest
+
+from repro.bench import DATASETS, GPU_COUNTS, fmt_table, measured_epoch, quick_mode
+from repro.bench.harness import TABLE_SYSTEMS
+from repro.core import RunConfig
+
+PAPER = {
+    "products": {"PyG": [5.03, 4.41, 4.26, 4.21], "DGL-CPU": [4.96, 3.89, 2.86, 2.57],
+                 "Quiver": [3.72, 2.94, 2.19, 1.98], "DGL-UVA": [2.39, 1.97, 1.12, 0.613],
+                 "DSP": [1.60, 0.834, 0.461, 0.323]},
+    "papers": {"PyG": [30.0, 31.0, 35.0, 29.1], "DGL-CPU": [30.3, 21.8, 19.4, 16.1],
+               "Quiver": [24.1, 18.1, 15.1, 11.3], "DGL-UVA": [14.2, 11.5, 4.91, 2.61],
+               "DSP": [12.1, 6.91, 2.47, 1.40]},
+    "friendster": {"PyG": [134, 140, 145, 152], "DGL-CPU": [189, 176, 141, 137],
+                   "Quiver": [108, 78.9, 54.4, 41.2], "DGL-UVA": [95.3, 71.2, 30.0, 15.2],
+                   "DSP": [61.3, 33.2, 13.4, 7.09]},
+}
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_table6_sampling_time(benchmark, emit, dataset):
+    gpu_counts = (1, 8) if quick_mode() else GPU_COUNTS
+    times = {
+        name: [
+            measured_epoch(
+                name, RunConfig(dataset=dataset, num_gpus=k)
+            ).sample_time
+            for k in gpu_counts
+        ]
+        for name in TABLE_SYSTEMS
+    }
+
+    rows = []
+    for name in TABLE_SYSTEMS:
+        rows.append((name, [t * 1e3 for t in times[name]]))
+        rows.append(("  paper(s)",
+                     [PAPER[dataset][name][GPU_COUNTS.index(k)] for k in gpu_counts]))
+    emit(fmt_table(
+        f"Table 6: sampling time per epoch on {dataset} "
+        "(simulated ms; paper rows in s)",
+        [f"{k}-GPU" for k in gpu_counts],
+        rows,
+    ))
+
+    for col in range(len(gpu_counts)):
+        others = [times[n][col] for n in TABLE_SYSTEMS if n != "DSP"]
+        assert times["DSP"][col] < min(others)  # DSP fastest sampler
+        # UVA sampling beats CPU sampling (GPU kernels + no CPU contention)
+        assert times["DGL-UVA"][col] < times["DGL-CPU"][col]
+    # CPU sampling barely scales with GPUs (host cores are the bottleneck)
+    assert times["PyG"][0] / times["PyG"][-1] < 2.5
+
+    benchmark.pedantic(
+        lambda: measured_epoch(
+            "DGL-UVA", RunConfig(dataset=dataset, num_gpus=8), max_batches=2
+        ),
+        rounds=1, iterations=1,
+    )

@@ -1,0 +1,60 @@
+"""Scenario: capacity planning for a citation-graph training cluster.
+
+An ML-infrastructure team trains on a papers-scale citation graph and
+must decide (a) how many GPUs the nightly job needs and (b) how to
+split each GPU's spare memory between graph topology and the feature
+cache.  Both questions are answered by DSP's cost model without
+touching real hardware: a GPU-count scaling sweep (Table 4 style) and a
+cache-split sweep (Fig 10 style).
+
+    python examples/capacity_planning.py
+"""
+
+from repro import RunConfig, build_system, load_dataset
+from repro.utils import GB, fmt_time
+
+
+def gpu_scaling(dataset: str) -> None:
+    print(f"== GPU-count scaling for {dataset!r} (DSP)")
+    base = None
+    for k in (1, 2, 4, 8):
+        m = build_system(
+            "DSP", RunConfig(dataset=dataset, num_gpus=k)
+        ).run_epoch(max_batches=6, functional=False)
+        base = base or m.epoch_time
+        print(f"  {k} GPU{'s' if k > 1 else ' '}: epoch {fmt_time(m.epoch_time):>10} "
+              f"(speedup {base / m.epoch_time:4.2f}x, "
+              f"occupancy {m.utilization:.0%})")
+    print()
+
+
+def cache_split(dataset: str, budget_gb: float = 6.0) -> None:
+    spec = load_dataset(dataset).spec
+    total = budget_gb * GB / spec.scale
+    print(f"== cache-split planning for {dataset!r}, "
+          f"{budget_gb:.0f} GB/GPU budget (scaled), 8 GPUs")
+    best = (float("inf"), None)
+    for frac in (0.1, 0.3, 0.5, 0.7, 0.9):
+        cfg = RunConfig(
+            dataset=dataset,
+            num_gpus=8,
+            feature_cache_bytes=total * frac,
+            topology_cache_bytes=total * (1 - frac),
+        )
+        system = build_system("DSP", cfg)
+        m = system.run_epoch(max_batches=4, functional=False)
+        cov = system.layout.topology_coverage
+        print(f"  features {frac:3.0%} of budget: epoch {fmt_time(m.epoch_time):>10}, "
+              f"topology {cov:4.0%} GPU-resident")
+        best = min(best, (m.epoch_time, frac))
+    print(f"  -> recommended split: {best[1]:.0%} features "
+          f"({fmt_time(best[0])} per epoch)\n")
+
+
+def main() -> None:
+    gpu_scaling("papers")
+    cache_split("papers")
+
+
+if __name__ == "__main__":
+    main()

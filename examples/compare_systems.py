@@ -1,0 +1,51 @@
+"""Scenario: choosing a training system for an e-commerce co-purchase
+graph (the paper's `products` workload).
+
+A platform team wants to train a 3-layer GraphSAGE recommender over the
+product co-purchase graph and must pick a GNN training stack for their
+8-GPU server.  This script runs the five architectures the paper
+compares on the same workload and prints epoch time, the stage
+breakdown and the communication bill for each — the Table 4 experiment
+as a decision tool.
+
+    python examples/compare_systems.py [dataset] [num_gpus]
+"""
+
+import sys
+
+from repro import RunConfig, build_system
+from repro.bench.harness import TABLE_SYSTEMS
+from repro.utils import fmt_bytes, fmt_time
+
+
+def main() -> None:
+    dataset = sys.argv[1] if len(sys.argv) > 1 else "products"
+    num_gpus = int(sys.argv[2]) if len(sys.argv) > 2 else 8
+    cfg = RunConfig(dataset=dataset, num_gpus=num_gpus)
+    print(f"workload: 3-layer GraphSAGE, fan-out {cfg.fanout}, "
+          f"{dataset!r} on {num_gpus} simulated GPUs\n")
+
+    print(f"{'system':<10} {'epoch':>12} {'sample':>12} {'load':>12} "
+          f"{'train':>12} {'NVLink':>12} {'PCIe':>12}")
+    results = {}
+    for name in TABLE_SYSTEMS:
+        system = build_system(name, cfg)
+        m = system.run_epoch(max_batches=6, functional=False)
+        results[name] = m
+        print(f"{name:<10} {fmt_time(m.epoch_time):>12} "
+              f"{fmt_time(m.sample_time):>12} {fmt_time(m.load_time):>12} "
+              f"{fmt_time(m.train_time):>12} {fmt_bytes(m.nvlink_bytes):>12} "
+              f"{fmt_bytes(m.pcie_bytes):>12}")
+
+    best_baseline = min(
+        (m.epoch_time, n) for n, m in results.items() if n != "DSP"
+    )
+    speedup = best_baseline[0] / results["DSP"].epoch_time
+    print(f"\nDSP vs best baseline ({best_baseline[1]}): "
+          f"{speedup:.2f}x faster per epoch")
+    print("note: simulated times are ~1/scale of the paper's wall times; "
+          "compare ratios (see EXPERIMENTS.md)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim so `pip install -e .` / `setup.py develop` work offline.
+
+The environment for this project has no network access and no `wheel`
+package, which breaks PEP-517 editable installs under old setuptools;
+this classic setup.py keeps the legacy develop path available.
+"""
+
+from setuptools import setup
+
+setup()

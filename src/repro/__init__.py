@@ -1,0 +1,41 @@
+"""repro — a reproduction of "DSP: Efficient GNN Training with Multiple
+GPUs" (PPoPP 2023) on a simulated multi-GPU substrate.
+
+The package trains real GNN models (numpy autograd) over really-sampled
+graphs, while a hardware model (DGX-1 NVLink/PCIe topology, kernel and
+allocator costs) and a discrete-event engine reproduce the paper's
+performance behaviour: the collective sampling primitive, the
+partitioned feature cache, and the producer-consumer pipeline with
+centralized communication coordination.
+
+Quick start::
+
+    from repro import RunConfig, build_system
+
+    system = build_system("DSP", RunConfig(dataset="products", num_gpus=8))
+    metrics = system.run_epoch()
+    print(metrics.epoch_time, metrics.val_accuracy)
+
+See DESIGN.md for the architecture and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+from repro.core import (
+    DSP,
+    RunConfig,
+    SYSTEMS,
+    build_system,
+)
+from repro.graph import load_dataset, DATASET_SPECS
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DSP",
+    "RunConfig",
+    "SYSTEMS",
+    "build_system",
+    "load_dataset",
+    "DATASET_SPECS",
+    "__version__",
+]

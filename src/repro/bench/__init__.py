@@ -1,0 +1,24 @@
+"""Benchmark harness: sweep runners and paper-style table printers.
+
+``benchmarks/`` (the pytest-benchmark suite) uses this package to run
+each experiment of the paper's evaluation section and print the same
+rows/series the paper reports.  The heavy lifting — building systems,
+running costed epochs, formatting — lives here so it is importable
+from examples and tests as well.
+"""
+
+from repro.bench.harness import (
+    DATASETS,
+    GPU_COUNTS,
+    fmt_table,
+    measured_epoch,
+    quick_mode,
+)
+
+__all__ = [
+    "DATASETS",
+    "GPU_COUNTS",
+    "fmt_table",
+    "measured_epoch",
+    "quick_mode",
+]

@@ -1,0 +1,185 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``train``    train one system and print per-epoch metrics
+``compare``  run several systems on one workload (Table 4 style)
+``info``     show datasets, systems and the simulated hardware
+``infer``    train then run distributed full-graph inference
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.bench.harness import TABLE_SYSTEMS
+from repro.core import RunConfig, SYSTEMS, build_system
+from repro.graph import DATASET_SPECS
+from repro.utils import fmt_bytes, fmt_time
+
+
+def _add_workload_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--dataset", default="products", choices=sorted(DATASET_SPECS))
+    p.add_argument("--gpus", type=int, default=8)
+    p.add_argument("--model", default="sage", choices=["sage", "gcn", "gat"])
+    p.add_argument("--hidden", type=int, default=256)
+    p.add_argument("--batch-size", type=int, default=32)
+    p.add_argument("--fanout", default="15,10,5",
+                   help="comma-separated per-layer fan-out")
+    p.add_argument("--lr", type=float, default=3e-3)
+    p.add_argument("--seed", type=int, default=0)
+
+
+def _config(args) -> RunConfig:
+    return RunConfig(
+        dataset=args.dataset,
+        num_gpus=args.gpus,
+        model=args.model,
+        hidden_dim=args.hidden,
+        batch_size=args.batch_size,
+        fanout=tuple(int(f) for f in args.fanout.split(",")),
+        lr=args.lr,
+        seed=args.seed,
+    )
+
+
+def cmd_train(args) -> int:
+    """``repro train``: train one system, print per-epoch metrics."""
+    cfg = _config(args)
+    system = build_system(args.system, cfg)
+    rows = []
+    print(f"{'epoch':>5} {'loss':>9} {'val acc':>8} {'epoch time':>12} "
+          f"{'NVLink':>10} {'PCIe':>10}")
+    for epoch in range(args.epochs):
+        m = system.run_epoch(functional=not args.cost_only)
+        rows.append(m)
+        print(f"{epoch:>5} {m.loss:>9.4f} {m.val_accuracy:>8.2%} "
+              f"{fmt_time(m.epoch_time):>12} {fmt_bytes(m.nvlink_bytes):>10} "
+              f"{fmt_bytes(m.pcie_bytes):>10}")
+    if args.json:
+        json.dump([_metrics_dict(m) for m in rows], sys.stdout, indent=2)
+        print()
+    return 0
+
+
+def cmd_compare(args) -> int:
+    """``repro compare``: Table-4-style system comparison."""
+    cfg = _config(args)
+    systems = args.systems.split(",") if args.systems else list(TABLE_SYSTEMS)
+    print(f"{'system':<10} {'epoch':>12} {'sample':>12} {'load':>12} "
+          f"{'train':>12}")
+    out = {}
+    for name in systems:
+        m = build_system(name, cfg).run_epoch(
+            max_batches=args.batches, functional=False
+        )
+        out[name] = m
+        print(f"{name:<10} {fmt_time(m.epoch_time):>12} "
+              f"{fmt_time(m.sample_time):>12} {fmt_time(m.load_time):>12} "
+              f"{fmt_time(m.train_time):>12}")
+    if args.json:
+        json.dump({n: _metrics_dict(m) for n, m in out.items()},
+                  sys.stdout, indent=2)
+        print()
+    return 0
+
+
+def cmd_info(args) -> int:
+    """``repro info``: list datasets, systems and the hardware model."""
+    from repro.hw import Topology
+    from repro.utils import GB
+
+    print("datasets:")
+    for name, spec in DATASET_SPECS.items():
+        print(f"  {name:<12} {spec.num_nodes:>8} nodes {spec.num_edges:>9} "
+              f"edges  dim {spec.feature_dim:>3}  scale {spec.scale:7.1f}")
+    print("\nsystems:", ", ".join(sorted(SYSTEMS)))
+    print("\nDGX-1 model (Table 1):")
+    for k in (1, 2, 4, 8):
+        t = Topology.dgx1(k)
+        print(f"  {k}-GPU: NVLink {t.aggregate_nvlink_bandwidth() / GB:6.0f} "
+              f"GB/s, PCIe {t.aggregate_pcie_bandwidth() / GB:4.0f} GB/s")
+    return 0
+
+
+def cmd_infer(args) -> int:
+    """``repro infer``: train briefly, then full-graph inference."""
+    from repro.core.inference import full_graph_inference
+    from repro.nn import accuracy
+
+    cfg = _config(args)
+    system = build_system(args.system, cfg)
+    for epoch in range(args.epochs):
+        m = system.run_epoch()
+        print(f"epoch {epoch}: loss {m.loss:.4f} val {m.val_accuracy:.2%}")
+    preds, trace = full_graph_inference(system)
+    t = system.engine.stage_time(trace)
+    test = system.data.test_nodes
+    acc = accuracy(preds[test], system.data.labels[test])
+    print(f"full-graph inference: test accuracy {acc:.2%}, "
+          f"simulated time {fmt_time(t)}")
+    return 0
+
+
+def _metrics_dict(m) -> dict:
+    return {
+        "epoch_time": m.epoch_time,
+        "sample_time": m.sample_time,
+        "load_time": m.load_time,
+        "train_time": m.train_time,
+        "nvlink_bytes": m.nvlink_bytes,
+        "pcie_bytes": m.pcie_bytes,
+        "network_bytes": m.network_bytes,
+        "loss": None if m.loss != m.loss else m.loss,
+        "val_accuracy": None if m.val_accuracy != m.val_accuracy
+        else m.val_accuracy,
+        "utilization": m.utilization,
+        "num_batches": m.num_batches,
+    }
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse tree (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="DSP (PPoPP'23) reproduction toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("train", help="train one system")
+    _add_workload_args(p)
+    p.add_argument("--system", default="DSP", choices=sorted(SYSTEMS))
+    p.add_argument("--epochs", type=int, default=3)
+    p.add_argument("--cost-only", action="store_true",
+                   help="skip numpy training, keep cost accounting")
+    p.add_argument("--json", action="store_true")
+    p.set_defaults(func=cmd_train)
+
+    p = sub.add_parser("compare", help="compare systems on one workload")
+    _add_workload_args(p)
+    p.add_argument("--systems", default="",
+                   help="comma-separated subset (default: all five)")
+    p.add_argument("--batches", type=int, default=6)
+    p.add_argument("--json", action="store_true")
+    p.set_defaults(func=cmd_compare)
+
+    p = sub.add_parser("info", help="datasets / systems / hardware model")
+    p.set_defaults(func=cmd_info)
+
+    p = sub.add_parser("infer", help="train then full-graph inference")
+    _add_workload_args(p)
+    p.add_argument("--system", default="DSP", choices=sorted(SYSTEMS))
+    p.add_argument("--epochs", type=int, default=3)
+    p.set_defaults(func=cmd_infer)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

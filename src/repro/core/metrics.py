@@ -1,0 +1,134 @@
+"""Result containers: per-batch costs, per-epoch metrics, run results."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class BatchCost:
+    """Simulated cost of one mini-batch, split by stage."""
+
+    sample_time: float = 0.0
+    load_time: float = 0.0
+    train_time: float = 0.0
+    nvlink_bytes: float = 0.0
+    pcie_bytes: float = 0.0
+    uva_payload_bytes: float = 0.0
+
+    @property
+    def total_time(self) -> float:
+        return self.sample_time + self.load_time + self.train_time
+
+    def __add__(self, other: "BatchCost") -> "BatchCost":
+        return BatchCost(
+            sample_time=self.sample_time + other.sample_time,
+            load_time=self.load_time + other.load_time,
+            train_time=self.train_time + other.train_time,
+            nvlink_bytes=self.nvlink_bytes + other.nvlink_bytes,
+            pcie_bytes=self.pcie_bytes + other.pcie_bytes,
+            uva_payload_bytes=self.uva_payload_bytes + other.uva_payload_bytes,
+        )
+
+
+@dataclass
+class EpochMetrics:
+    """One epoch of one system."""
+
+    epoch_time: float  # simulated seconds (pipelined if enabled)
+    sample_time: float  # sampler-only time (Table 6 definition)
+    load_time: float
+    train_time: float
+    nvlink_bytes: float
+    pcie_bytes: float
+    network_bytes: float
+    loss: float
+    train_accuracy: float
+    val_accuracy: float
+    num_batches: int
+    utilization: float = 0.0  # mean GPU busy fraction (Fig 6)
+    cache_stats: dict = field(default_factory=dict)
+
+
+#: columns exported per epoch, in order
+EPOCH_FIELDS = (
+    "epoch_time", "sample_time", "load_time", "train_time",
+    "nvlink_bytes", "pcie_bytes", "network_bytes",
+    "loss", "train_accuracy", "val_accuracy",
+    "num_batches", "utilization",
+)
+
+
+def _epoch_row(e: EpochMetrics) -> dict:
+    return {name: getattr(e, name) for name in EPOCH_FIELDS}
+
+
+@dataclass
+class RunResult:
+    """A full run: system + config identification and per-epoch metrics."""
+
+    system: str
+    dataset: str
+    num_gpus: int
+    epochs: list[EpochMetrics] = field(default_factory=list)
+
+    @property
+    def mean_epoch_time(self) -> float:
+        return float(np.mean([e.epoch_time for e in self.epochs]))
+
+    @property
+    def mean_sample_time(self) -> float:
+        return float(np.mean([e.sample_time for e in self.epochs]))
+
+    @property
+    def final_val_accuracy(self) -> float:
+        return self.epochs[-1].val_accuracy if self.epochs else 0.0
+
+    # -- export ----------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "system": self.system,
+            "dataset": self.dataset,
+            "num_gpus": self.num_gpus,
+            "epochs": [_epoch_row(e) for e in self.epochs],
+        }
+
+    def to_json(self, path=None) -> str:
+        """JSON string; also written to ``path`` when given."""
+        import json
+
+        def clean(v):
+            return None if isinstance(v, float) and v != v else v
+
+        payload = self.to_dict()
+        payload["epochs"] = [
+            {k: clean(v) for k, v in row.items()} for row in payload["epochs"]
+        ]
+        text = json.dumps(payload, indent=2)
+        if path is not None:
+            with open(path, "w") as f:
+                f.write(text)
+        return text
+
+    def to_csv(self, path=None) -> str:
+        """CSV with one row per epoch; also written to ``path`` if given."""
+        import csv
+        import io
+
+        buf = io.StringIO()
+        writer = csv.writer(buf)
+        writer.writerow(("system", "dataset", "num_gpus", "epoch")
+                        + EPOCH_FIELDS)
+        for i, e in enumerate(self.epochs):
+            row = _epoch_row(e)
+            writer.writerow(
+                [self.system, self.dataset, self.num_gpus, i]
+                + [row[f] for f in EPOCH_FIELDS]
+            )
+        text = buf.getvalue()
+        if path is not None:
+            with open(path, "w") as f:
+                f.write(text)
+        return text

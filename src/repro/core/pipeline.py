@@ -1,0 +1,194 @@
+"""The producer-consumer training pipeline (paper §5, Fig 7).
+
+Replays per-mini-batch op costs inside the discrete-event engine with
+one sampler, loader and trainer worker per GPU, connected by bounded
+queues (capacity 2 by default — the paper finds that sufficient).
+Workers of *different* mini-batches overlap: while the trainer computes
+batch ``t``, the loader fetches features for ``t + 1`` and the sampler
+builds graph samples for ``t + 2``.
+
+Collective kernels acquire one of the GPU's communication channels and
+an SM-thread footprint, then rendezvous with their peers — the
+conditions that can deadlock (Fig 8).  With ``ccc=True`` a
+:class:`~repro.engine.coordination.LaunchGate` serializes the launch
+order globally and the pipeline is deadlock-free; with ``ccc=False``
+and few channels the Fig 8 interleaving really deadlocks (the ablation
+benchmark shows it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.cost import OpCost
+from repro.engine import (
+    BoundedQueue,
+    LaunchGate,
+    Rendezvous,
+    Resource,
+    Simulator,
+)
+from repro.engine.simulator import Timeout
+from repro.hw.devices import Cluster
+from repro.utils.errors import ConfigError
+
+#: pipeline stages in dependency order
+STAGES = ("sample", "load", "train")
+
+
+@dataclass
+class PipelineResult:
+    """Outcome of one simulated epoch (wall time + utilization)."""
+
+    epoch_time: float
+    utilization: float  # mean thread-weighted occupancy across GPUs
+    busy_fraction: float  # mean any-kernel-resident fraction
+
+
+class PipelineRunner:
+    """Simulate one epoch of the queue-based pipeline."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        batches: list[dict],
+        queue_capacity: int = 2,
+        ccc: bool = True,
+        comm_channels: int = 2,
+        sequential: bool = False,
+        sampler_workers: int = 1,
+        loader_workers: int = 1,
+    ):
+        """``batches[t]`` maps stage name -> list of OpCost for batch t.
+
+        ``sequential=True`` runs the same workers with rendezvous and
+        resources but forces each batch's three stages to complete
+        before the next batch starts (DSP-Seq), so utilization numbers
+        are measured identically in both modes.
+
+        ``sampler_workers`` / ``loader_workers`` > 1 give each GPU
+        multiple worker instances striped over mini-batches (the
+        multi-instance alternative of §5; the trainer stays single to
+        preserve BSP, consuming batches in order).
+        """
+        for b in batches:
+            if set(b) != set(STAGES):
+                raise ConfigError(f"each batch needs stages {STAGES}")
+        if sampler_workers < 1 or loader_workers < 1:
+            raise ConfigError("need at least one worker per stage")
+        self.cluster = cluster
+        self.batches = batches
+        self.queue_capacity = queue_capacity
+        self.ccc = ccc
+        self.comm_channels = comm_channels
+        self.sequential = sequential
+        self.sampler_workers = sampler_workers
+        self.loader_workers = loader_workers
+
+    # ------------------------------------------------------------------
+    def run(self) -> PipelineResult:
+        """Simulate the epoch; returns wall time and GPU utilization."""
+        k = self.cluster.num_gpus
+        sim = Simulator()
+        threads = [
+            Resource(sim, self.cluster.gpu.total_threads, name=f"gpu{g}-sm")
+            for g in range(k)
+        ]
+        channels = [
+            Resource(sim, self.comm_channels, name=f"gpu{g}-comm")
+            for g in range(k)
+        ]
+        barrier = Rendezvous(sim, name="collective")
+        gate = LaunchGate(sim, k) if (self.ccc and k > 1) else None
+
+        def run_op(g: int, cost: OpCost, tag):
+            if cost.host:
+                # host-side work: the GPU just waits
+                yield Timeout(float(cost.stage))
+                return
+            footprint = min(cost.threads, threads[g].capacity)
+            if cost.collective:
+                if gate is not None:
+                    yield gate.wait_turn(g, tag)
+                yield channels[g].acquire(1)
+                yield threads[g].acquire(footprint)
+                if gate is not None:
+                    gate.launched(g, tag)
+                yield barrier.arrive(tag, k)
+                yield Timeout(float(cost.stage))
+                threads[g].release(footprint)
+                channels[g].release(1)
+            else:
+                yield threads[g].acquire(footprint)
+                yield Timeout(float(cost.per_gpu[g]))
+                threads[g].release(footprint)
+
+        B = len(self.batches)
+        if self.sequential:
+            # one worker per GPU runs sample -> load -> train per batch,
+            # with a cross-GPU barrier between batches (BSP steps)
+            def worker(g: int):
+                for t in range(B):
+                    for stage in STAGES:
+                        for i, cost in enumerate(self.batches[t][stage]):
+                            yield from run_op(g, cost, (stage, t, i))
+                    if k > 1:
+                        yield barrier.arrive(("batch-end", t), k)
+
+            for g in range(k):
+                sim.spawn(worker(g), name=f"seq-gpu{g}")
+        else:
+            S, L = self.sampler_workers, self.loader_workers
+            # one loader input queue per loader instance: batch t is
+            # handled by sampler t % S and loader t % L on every GPU
+            queues_sl = [
+                [BoundedQueue(sim, self.queue_capacity, name=f"gpu{g}-loadq{w}")
+                 for w in range(L)]
+                for g in range(k)
+            ]
+            queues_lt = [
+                BoundedQueue(sim, self.queue_capacity, name=f"gpu{g}-trainq")
+                for g in range(k)
+            ]
+
+            def sampler(g: int, w: int):
+                for t in range(w, B, S):
+                    for i, cost in enumerate(self.batches[t]["sample"]):
+                        yield from run_op(g, cost, ("sample", t, i))
+                    yield queues_sl[g][t % L].put(t)
+
+            def loader(g: int, w: int):
+                for _ in range(w, B, L):
+                    t = yield queues_sl[g][w].get()
+                    for i, cost in enumerate(self.batches[t]["load"]):
+                        yield from run_op(g, cost, ("load", t, i))
+                    yield queues_lt[g].put(t)
+
+            def trainer(g: int):
+                # BSP: consume strictly in batch order, stashing early
+                # arrivals from out-of-order loader instances
+                stash: set[int] = set()
+                next_t = 0
+                while next_t < B:
+                    if next_t in stash:
+                        stash.remove(next_t)
+                        for i, cost in enumerate(self.batches[next_t]["train"]):
+                            yield from run_op(g, cost, ("train", next_t, i))
+                        next_t += 1
+                        continue
+                    t = yield queues_lt[g].get()
+                    stash.add(t)
+
+            for g in range(k):
+                for w in range(S):
+                    sim.spawn(sampler(g, w), name=f"sampler{w}-gpu{g}")
+                for w in range(L):
+                    sim.spawn(loader(g, w), name=f"loader{w}-gpu{g}")
+                sim.spawn(trainer(g), name=f"trainer-gpu{g}")
+
+        total = sim.run()
+        occ = float(np.mean([r.occupancy(total) for r in threads]))
+        busy = float(np.mean([r.busy_fraction(total) for r in threads]))
+        return PipelineResult(epoch_time=total, utilization=occ, busy_fraction=busy)

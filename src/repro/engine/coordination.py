@@ -1,0 +1,105 @@
+"""Centralized communication coordination (CCC).
+
+Collective kernels deadlock when two GPUs launch them in different
+orders (paper Fig 8): each GPU's first kernel holds SM resources while
+waiting for its peer, and the peer's matching kernel can never launch.
+
+CCC (paper §5) removes the root cause — divergent launch orders — by
+having one *leader* GPU fix a single global order.  On the leader, a
+collective is appended to the order the moment its worker is ready to
+communicate; the order is broadcast, and every follower launches its
+communication kernels in exactly that sequence, waiting if its own
+worker for the next collective is not ready yet.
+
+:class:`LaunchGate` implements the protocol.  Workers call::
+
+    yield gate.wait_turn(gpu, tag)   # before acquiring SMs / launching
+    ...launch, rendezvous, run...
+    gate.launched(gpu, tag)          # after the kernel has started
+
+With the gate, all GPUs launch in leader order and cross-order
+deadlocks cannot form; without it (``gate=None`` in the workers) the
+Fig 8 interleaving is reproducible in the engine tests.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any
+
+from repro.engine.simulator import Process, Simulator
+from repro.utils.errors import ReproError
+
+
+class LaunchGate:
+    """Serializes collective-kernel launch order across GPUs."""
+
+    def __init__(self, sim: Simulator, num_gpus: int, leader: int = 0):
+        if not 0 <= leader < num_gpus:
+            raise ReproError("leader must be one of the GPUs")
+        self.sim = sim
+        self.num_gpus = num_gpus
+        self.leader = leader
+        #: the global launch order, fixed by leader submission order
+        self.order: list[Any] = []
+        self._position: dict[Any, int] = {}
+        #: next order index each GPU may launch
+        self._next: list[int] = [0] * num_gpus
+        self._waiters: list[deque[tuple[Process, Any]]] = [
+            deque() for _ in range(num_gpus)
+        ]
+
+    def wait_turn(self, gpu: int, tag: Any) -> "_WaitTurn":
+        if not 0 <= gpu < self.num_gpus:
+            raise ReproError(f"bad gpu id {gpu}")
+        return _WaitTurn(self, gpu, tag)
+
+    def launched(self, gpu: int, tag: Any) -> None:
+        """Record that ``gpu`` has started the kernel for ``tag``."""
+        pos = self._position.get(tag)
+        if pos is None or pos != self._next[gpu]:
+            raise ReproError(f"gpu {gpu} launched {tag!r} out of turn")
+        self._next[gpu] += 1
+        self._drain(gpu)
+
+    # -- internals -------------------------------------------------------
+    def _register(self, tag: Any) -> None:
+        if tag not in self._position:
+            self._position[tag] = len(self.order)
+            self.order.append(tag)
+            for gpu in range(self.num_gpus):
+                self._drain(gpu)
+
+    def _ready(self, gpu: int, tag: Any) -> bool:
+        pos = self._position.get(tag)
+        return pos is not None and pos == self._next[gpu]
+
+    def _drain(self, gpu: int) -> None:
+        waiters = self._waiters[gpu]
+        # scan for the (single) waiter whose turn has come
+        for _ in range(len(waiters)):
+            proc, tag = waiters.popleft()
+            if self._ready(gpu, tag):
+                self.sim.resume(proc)
+            else:
+                waiters.append((proc, tag))
+
+
+@dataclass
+class _WaitTurn:
+    gate: LaunchGate
+    gpu: int
+    tag: Any
+    result: Any = None
+
+    def __sim_request__(self, sim: Simulator, proc: Process) -> bool:
+        g = self.gate
+        if self.gpu == g.leader:
+            # leader submission defines the global order
+            g._register(self.tag)
+        if g._ready(self.gpu, self.tag):
+            return True
+        proc.waiting_on = f"ccc({self.gpu}, {self.tag})"
+        g._waiters[self.gpu].append((proc, self.tag))
+        return False

@@ -1,0 +1,48 @@
+"""Graph substrate: CSR storage, generators, datasets, partitioning.
+
+This package provides everything DSP needs from a graph system:
+
+- :class:`~repro.graph.csr.CSRGraph` — compressed sparse row adjacency
+  (in-neighbour lists, as in the paper's §6) with optional edge weights
+  for biased sampling.
+- :mod:`~repro.graph.generators` — power-law (RMAT-style) and
+  degree-corrected stochastic-block-model generators used to synthesize
+  scaled stand-ins for ogbn-products / ogbn-papers100M / Friendster.
+- :mod:`~repro.graph.datasets` — the three named datasets of the paper
+  at ~1000x reduced scale, with node features and labels.
+- :mod:`~repro.graph.partition` — a METIS-like multilevel partitioner
+  plus hash/range baselines.
+- :mod:`~repro.graph.reorder` — node renumbering so each graph patch
+  owns a consecutive global-id range (making owner lookup a range check).
+"""
+
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import rmat_graph, dcsbm_graph, uniform_graph
+from repro.graph.datasets import Dataset, load_dataset, DATASET_SPECS
+from repro.graph.partition import (
+    Partition,
+    metis_partition,
+    hash_partition,
+    range_partition,
+    ldg_partition,
+    edge_cut,
+)
+from repro.graph.reorder import renumber_by_partition, NodeNumbering
+
+__all__ = [
+    "CSRGraph",
+    "rmat_graph",
+    "dcsbm_graph",
+    "uniform_graph",
+    "Dataset",
+    "load_dataset",
+    "DATASET_SPECS",
+    "Partition",
+    "metis_partition",
+    "hash_partition",
+    "range_partition",
+    "ldg_partition",
+    "edge_cut",
+    "renumber_by_partition",
+    "NodeNumbering",
+]

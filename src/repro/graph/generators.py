@@ -1,0 +1,169 @@
+"""Synthetic graph generators.
+
+The paper evaluates on three real power-law graphs (ogbn-products,
+ogbn-papers100M, Friendster).  Those graphs are not available offline,
+so we generate scaled stand-ins that preserve the two properties DSP's
+results depend on:
+
+- a **heavily skewed degree distribution** (hot nodes dominate feature
+  accesses, which is what makes GPU feature caching effective), and
+- **community structure** (what METIS exploits; also gives GNNs a
+  learnable signal for the convergence experiment, Fig. 9).
+
+Two generators are provided: an RMAT-style recursive generator (degree
+skew, weak communities) and a degree-corrected stochastic block model
+(degree skew *and* planted communities).  Both are fully vectorized.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.utils.errors import ReproError
+from repro.utils.rng import make_rng
+
+
+def rmat_graph(
+    num_nodes: int,
+    num_edges: int,
+    a: float = 0.57,
+    b: float = 0.19,
+    c: float = 0.19,
+    rng: np.random.Generator | int | None = None,
+) -> CSRGraph:
+    """Generate an RMAT (Kronecker) graph with ``num_edges`` directed edges.
+
+    ``num_nodes`` is rounded up to the next power of two internally and
+    edges falling on padding nodes are redirected by modulo, so the
+    returned graph has exactly ``num_nodes`` nodes.  The default
+    (a, b, c) parameters are the standard Graph500 values and give a
+    power-law-like in-degree distribution.
+    """
+    if num_nodes <= 0 or num_edges < 0:
+        raise ReproError("num_nodes must be positive and num_edges non-negative")
+    d = 1.0 - a - b - c
+    if d < 0 or min(a, b, c) < 0:
+        raise ReproError("RMAT probabilities must be non-negative and sum <= 1")
+    rng = make_rng(rng)
+    scale = max(1, int(np.ceil(np.log2(num_nodes))))
+
+    src = np.zeros(num_edges, dtype=np.int64)
+    dst = np.zeros(num_edges, dtype=np.int64)
+    # At each level pick one of four quadrants per edge; the quadrant's
+    # (row, col) bit pair appends one bit to (src, dst) respectively.
+    quadrant_p = np.array([a, b, c, d])
+    quadrant_p = quadrant_p / quadrant_p.sum()
+    for _ in range(scale):
+        q = rng.choice(4, size=num_edges, p=quadrant_p)
+        src = (src << 1) | (q >> 1)  # quadrants 2,3 are the bottom row
+        dst = (dst << 1) | (q & 1)  # quadrants 1,3 are the right column
+    src %= num_nodes
+    dst %= num_nodes
+    return CSRGraph.from_edges(src, dst, num_nodes)
+
+
+def dcsbm_graph(
+    num_nodes: int,
+    num_edges: int,
+    num_communities: int = 16,
+    intra_prob: float = 0.8,
+    power: float = 2.5,
+    theta_cap_exp: float = 0.5,
+    rng: np.random.Generator | int | None = None,
+    return_communities: bool = False,
+) -> CSRGraph | tuple[CSRGraph, np.ndarray]:
+    """Degree-corrected stochastic block model.
+
+    Each node gets a community (uniform) and a degree propensity drawn
+    from a Pareto power law so the degree distribution has tail exponent
+    about ``power`` (2–3 is typical of real graphs).  For every edge we
+    first decide whether it stays inside one community (with probability
+    ``intra_prob``), then draw both endpoints proportional to their
+    propensity within the chosen communities.  Duplicate edges are
+    discarded and topped up over a few rounds so the returned graph has
+    exactly ``num_edges`` distinct directed edges (or as many as fit).
+
+    Returns the graph, and additionally the community assignment when
+    ``return_communities`` is set (used to derive node labels).
+    """
+    if not 0.0 <= intra_prob <= 1.0:
+        raise ReproError("intra_prob must be in [0, 1]")
+    if num_communities <= 0 or num_communities > num_nodes:
+        raise ReproError("need 1 <= num_communities <= num_nodes")
+    if power <= 1.0:
+        raise ReproError("power must exceed 1 (degree tail exponent)")
+    rng = make_rng(rng)
+
+    community = rng.integers(0, num_communities, size=num_nodes)
+    # make sure every community is non-empty so endpoint draws never fail
+    community[:num_communities] = np.arange(num_communities)
+    # Pareto(alpha = power - 1) propensities; cap the largest (at
+    # num_nodes ** theta_cap_exp) so no single node absorbs the edge
+    # budget, which would collapse under dedup.
+    theta = (1.0 - rng.random(num_nodes)) ** (-1.0 / (power - 1.0))
+    theta = np.minimum(theta, float(num_nodes) ** theta_cap_exp)
+
+    # Pre-compute, per community, the member list and a cumulative
+    # propensity table so endpoint draws are a vectorized searchsorted.
+    members: list[np.ndarray] = []
+    cumw: list[np.ndarray] = []
+    for comm in range(num_communities):
+        m = np.flatnonzero(community == comm)
+        members.append(m)
+        w = np.cumsum(theta[m])
+        cumw.append(w / w[-1])
+
+    def draw_in_communities(comms: np.ndarray) -> np.ndarray:
+        out = np.empty(len(comms), dtype=np.int64)
+        u = rng.random(len(comms))
+        for comm in range(num_communities):
+            mask = comms == comm
+            if not mask.any():
+                continue
+            idx = np.searchsorted(cumw[comm], u[mask], side="left")
+            out[mask] = members[comm][idx]
+        return out
+
+    def draw_edges(count: int) -> np.ndarray:
+        src_comm = rng.integers(0, num_communities, size=count)
+        intra = rng.random(count) < intra_prob
+        dst_comm = np.where(
+            intra, src_comm, rng.integers(0, num_communities, size=count)
+        )
+        src = draw_in_communities(src_comm)
+        dst = draw_in_communities(dst_comm)
+        return dst * np.int64(num_nodes) + src  # packed (dst, src) keys
+
+    # top-up loop: duplicates are dropped, so oversample until the target
+    keys = np.empty(0, dtype=np.int64)
+    for _ in range(8):
+        missing = num_edges - len(keys)
+        if missing <= 0:
+            break
+        batch = draw_edges(int(missing * 1.5) + 1024)
+        keys = np.unique(np.concatenate([keys, batch]))
+    if len(keys) > num_edges:
+        keep = rng.permutation(len(keys))[:num_edges]
+        keys = keys[keep]
+
+    src = keys % num_nodes
+    dst = keys // num_nodes
+    graph = CSRGraph.from_edges(src, dst, num_nodes, dedup=False)
+    if return_communities:
+        return graph, community
+    return graph
+
+
+def uniform_graph(
+    num_nodes: int,
+    num_edges: int,
+    rng: np.random.Generator | int | None = None,
+) -> CSRGraph:
+    """Uniform random directed graph (G(n, m) style), for tests/baselines."""
+    if num_nodes <= 0:
+        raise ReproError("num_nodes must be positive")
+    rng = make_rng(rng)
+    src = rng.integers(0, num_nodes, size=num_edges)
+    dst = rng.integers(0, num_nodes, size=num_edges)
+    return CSRGraph.from_edges(src, dst, num_nodes)

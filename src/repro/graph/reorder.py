@@ -1,0 +1,94 @@
+"""Node renumbering for partitioned graphs.
+
+DSP renumbers nodes so that every graph patch owns a *consecutive*
+global-id range (paper §6).  This turns "which GPU holds node v's
+adjacency list?" into a range check, and local ids are obtained by
+subtracting the patch base offset.  :class:`NodeNumbering` captures the
+resulting id scheme; all lookups are vectorized.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.graph.partition import Partition
+from repro.utils.errors import PartitionError
+
+
+@dataclass(frozen=True)
+class NodeNumbering:
+    """Bidirectional mapping between original and partition-ordered ids.
+
+    Attributes
+    ----------
+    old_to_new / new_to_old:
+        Permutations between the dataset's original node ids ("old") and
+        the renumbered global ids ("new").
+    part_offsets:
+        ``int64[num_parts + 1]``; part ``p`` owns new ids
+        ``[part_offsets[p], part_offsets[p + 1])``.
+    """
+
+    old_to_new: np.ndarray
+    new_to_old: np.ndarray
+    part_offsets: np.ndarray
+
+    @property
+    def num_parts(self) -> int:
+        return len(self.part_offsets) - 1
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.old_to_new)
+
+    def owner_of(self, new_ids: np.ndarray) -> np.ndarray:
+        """Part owning each (new) global id — a vectorized range check."""
+        new_ids = np.asarray(new_ids, dtype=np.int64)
+        return np.searchsorted(self.part_offsets, new_ids, side="right") - 1
+
+    def to_local(self, new_ids: np.ndarray) -> np.ndarray:
+        """Local id of each (new) global id within its owning part."""
+        new_ids = np.asarray(new_ids, dtype=np.int64)
+        return new_ids - self.part_offsets[self.owner_of(new_ids)]
+
+    def to_global(self, part: int, local_ids: np.ndarray) -> np.ndarray:
+        """(new) global ids of the given local ids on ``part``."""
+        local_ids = np.asarray(local_ids, dtype=np.int64)
+        size = self.part_offsets[part + 1] - self.part_offsets[part]
+        if len(local_ids) and (local_ids.min() < 0 or local_ids.max() >= size):
+            raise PartitionError("local id out of range for part")
+        return local_ids + self.part_offsets[part]
+
+    def part_size(self, part: int) -> int:
+        return int(self.part_offsets[part + 1] - self.part_offsets[part])
+
+
+def renumber_by_partition(
+    graph: CSRGraph, partition: Partition
+) -> tuple[CSRGraph, Partition, NodeNumbering]:
+    """Renumber ``graph`` so each part's nodes get consecutive global ids.
+
+    Returns the renumbered graph, the matching (sorted) partition, and
+    the :class:`NodeNumbering`.  Within a part the original relative
+    order is preserved, keeping the renumbering deterministic.
+    """
+    if partition.num_nodes != graph.num_nodes:
+        raise PartitionError("partition does not match graph")
+    order = np.argsort(partition.assignment, kind="stable")  # new -> old
+    old_to_new = np.empty_like(order)
+    old_to_new[order] = np.arange(graph.num_nodes, dtype=np.int64)
+
+    new_graph = graph.permute(old_to_new)
+    sizes = partition.part_sizes
+    part_offsets = np.zeros(partition.num_parts + 1, dtype=np.int64)
+    np.cumsum(sizes, out=part_offsets[1:])
+    new_assignment = np.repeat(
+        np.arange(partition.num_parts, dtype=np.int64), sizes
+    )
+    numbering = NodeNumbering(
+        old_to_new=old_to_new, new_to_old=order, part_offsets=part_offsets
+    )
+    return new_graph, Partition(new_assignment, partition.num_parts), numbering

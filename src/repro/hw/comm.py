@@ -1,0 +1,256 @@
+"""Communication cost model.
+
+Implements an alpha-beta (latency + bytes/bandwidth) model for the
+NCCL-style collectives DSP uses (all-to-all for CSP and feature
+loading, allreduce for gradients) plus the UVA channel through which
+GPUs read host memory over PCIe.
+
+The UVA channel is where *read amplification* lives: the minimum PCIe
+read is 50 bytes on the wire — a 32-byte payload plus an 18-byte packet
+header (paper §1, citing EMOGI).  Reading an 8-byte adjacency entry
+therefore moves 50 bytes; reading a 512-byte feature vector moves
+ceil(512/32) * 50 = 800 bytes.  Every method returns a
+:class:`CommCost` carrying both the simulated duration and the byte
+accounting needed for the Fig 1 communication-volume experiment.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hw.interconnect import (
+    NVLINK_LATENCY,
+    PCIE_LATENCY,
+    Topology,
+)
+from repro.utils.errors import ConfigError
+
+#: useful payload per minimum PCIe read request (bytes)
+UVA_REQUEST_PAYLOAD = 32
+#: wire size of that request: payload + 18-byte packet header
+UVA_REQUEST_TOTAL = 50
+
+#: fixed software overhead to launch one collective (NCCL call, sync)
+COLLECTIVE_LAUNCH = 20e-6
+
+#: random UVA reads are latency-bound well before they saturate PCIe:
+#: each item is an independent pointer chase across the bus.  This is
+#: the per-GPU item rate (items/s) that caps small-item gathers.
+UVA_ITEM_RATE = 1e8
+
+
+@dataclass(frozen=True)
+class CommCost:
+    """Duration and byte accounting of one communication operation.
+
+    ``payload_bytes`` is what the caller asked for; ``nvlink_bytes`` and
+    ``pcie_bytes`` are what actually crossed each link class (including
+    multi-hop forwarding and read amplification).  Local copies are
+    free and contribute to no counter.
+    """
+
+    time: float = 0.0
+    nvlink_bytes: float = 0.0
+    pcie_bytes: float = 0.0
+    payload_bytes: float = 0.0
+
+    def __add__(self, other: "CommCost") -> "CommCost":
+        return CommCost(
+            time=self.time + other.time,
+            nvlink_bytes=self.nvlink_bytes + other.nvlink_bytes,
+            pcie_bytes=self.pcie_bytes + other.pcie_bytes,
+            payload_bytes=self.payload_bytes + other.payload_bytes,
+        )
+
+    @property
+    def total_bytes(self) -> float:
+        return self.nvlink_bytes + self.pcie_bytes
+
+
+ZERO_COST = CommCost()
+
+
+class CostModel:
+    """Analytic communication costs over a :class:`Topology`.
+
+    Collectives are modelled as bandwidth-bound pipelines: duration is
+    the bottleneck link's transfer time plus per-hop latency and a fixed
+    launch overhead.  Within one collective the participating links are
+    assumed dedicated (NCCL serializes collectives on its stream); the
+    cross-kernel interaction is handled by the execution engine.
+    """
+
+    def __init__(self, topology: Topology, launch_scale: float = 1.0,
+                 backend: str = "nccl"):
+        """``launch_scale`` multiplies fixed per-operation overheads
+        (collective launch, PCIe latency).  Systems that shrink the
+        mini-batch by a factor f pass f so that per-batch constants
+        keep the same *share* of batch time as at full batch size.
+
+        ``backend`` selects the inter-GPU communication library
+        (paper §3.2): ``"nccl"`` (default) works on any topology and
+        relays multi-hop pairs; ``"nvshmem"`` uses one-sided puts with
+        ~4x lower launch overhead but **requires a direct NVLink link
+        between every GPU pair** — exactly why DSP ships with NCCL.
+        Constructing an nvshmem model on a topology without a full mesh
+        raises :class:`~repro.utils.errors.ConfigError`.
+        """
+        self.topology = topology
+        if launch_scale <= 0:
+            raise ConfigError("launch_scale must be positive")
+        if backend not in ("nccl", "nvshmem"):
+            raise ConfigError(f"unknown comm backend {backend!r}")
+        if backend == "nvshmem":
+            n = topology.num_gpus
+            for i in range(n):
+                for j in range(n):
+                    if i != j and topology.nvlink[i, j] == 0:
+                        raise ConfigError(
+                            "NVSHMEM needs a full NVLink mesh; GPUs "
+                            f"{i} and {j} have no direct link (paper "
+                            "§3.2: some GPU servers do not have one)"
+                        )
+        self.backend = backend
+        launch = COLLECTIVE_LAUNCH * (0.25 if backend == "nvshmem" else 1.0)
+        self.launch = launch * launch_scale
+        self.pcie_latency = PCIE_LATENCY * launch_scale
+        self.hop_latency = NVLINK_LATENCY * launch_scale
+
+    # ------------------------------------------------------------------
+    # NVLink collectives
+    # ------------------------------------------------------------------
+    def alltoall(self, size_matrix: np.ndarray) -> CommCost:
+        """All-to-all over NVLink: ``size_matrix[i, j]`` bytes from i to j.
+
+        Multi-hop pairs load every link on their route (the relay GPU
+        forwards the bytes).  Diagonal entries are local and free.
+        """
+        s = np.asarray(size_matrix, dtype=np.float64)
+        n = self.topology.num_gpus
+        if s.shape != (n, n):
+            raise ConfigError(f"size matrix must be {n}x{n}")
+        if n == 1:
+            return CommCost(payload_bytes=0.0)
+
+        link_load: dict[tuple[int, int], float] = {}
+        nvlink_bytes = 0.0
+        max_hops = 1
+        for i in range(n):
+            for j in range(n):
+                b = float(s[i, j])
+                if i == j or b == 0.0:
+                    continue
+                hops = self.topology.route(i, j)
+                max_hops = max(max_hops, len(hops))
+                for hop in hops:
+                    link_load[hop] = link_load.get(hop, 0.0) + b
+                    nvlink_bytes += b
+        if not link_load:
+            return CommCost(time=self.launch)
+        worst = max(
+            load / self.topology.nvlink_bandwidth(a, b)
+            for (a, b), load in link_load.items()
+        )
+        payload = float(s.sum() - np.trace(s))
+        return CommCost(
+            time=self.launch + max_hops * self.hop_latency + worst,
+            nvlink_bytes=nvlink_bytes,
+            payload_bytes=payload,
+        )
+
+    def allreduce(self, nbytes: float) -> CommCost:
+        """Ring allreduce of ``nbytes`` per GPU over NVLink."""
+        n = self.topology.num_gpus
+        if n == 1:
+            return CommCost(payload_bytes=0.0)
+        ring = list(range(n)) + [0]
+        ring_bw = min(
+            self.topology.path_bandwidth(a, b) for a, b in zip(ring[:-1], ring[1:])
+        )
+        # each GPU sends 2 * (n-1)/n * nbytes around the ring
+        per_gpu = 2.0 * (n - 1) / n * nbytes
+        moved = per_gpu * n
+        return CommCost(
+            time=self.launch + 2 * (n - 1) * self.hop_latency + per_gpu / ring_bw,
+            nvlink_bytes=moved,
+            payload_bytes=nbytes * n,
+        )
+
+    def broadcast(self, nbytes: float, root: int = 0) -> CommCost:
+        """Tree broadcast of ``nbytes`` from ``root`` over NVLink."""
+        n = self.topology.num_gpus
+        if n == 1 or nbytes == 0:
+            return ZERO_COST
+        worst_bw = min(
+            self.topology.path_bandwidth(root, j) for j in range(n) if j != root
+        )
+        moved = nbytes * (n - 1)
+        return CommCost(
+            time=self.launch + math.ceil(math.log2(n)) * self.hop_latency
+            + nbytes / worst_bw,
+            nvlink_bytes=moved,
+            payload_bytes=moved,
+        )
+
+    # ------------------------------------------------------------------
+    # PCIe / UVA
+    # ------------------------------------------------------------------
+    def uva_gather(
+        self,
+        gpu: int,
+        num_items: int,
+        item_bytes: float,
+        active_gpus: "list[int] | None" = None,
+    ) -> CommCost:
+        """Random reads of ``num_items`` items from host memory via UVA.
+
+        Each item is fetched with minimum-size PCIe reads, so the wire
+        traffic is ``ceil(item_bytes / 32) * 50`` per item — the read
+        amplification of Fig 1.  Bandwidth is the GPU's share of its
+        PCIe switch.
+        """
+        if num_items == 0:
+            return ZERO_COST
+        packets = math.ceil(item_bytes / UVA_REQUEST_PAYLOAD)
+        wire = float(num_items) * packets * UVA_REQUEST_TOTAL
+        payload = float(num_items) * item_bytes
+        bw = self.topology.pcie_bandwidth(gpu, active_gpus)
+        # bandwidth-bound for large items, latency(item-rate)-bound for
+        # small ones — random reads cannot saturate the bus
+        duration = max(wire / bw, float(num_items) / UVA_ITEM_RATE)
+        return CommCost(
+            time=self.pcie_latency + duration,
+            pcie_bytes=wire,
+            payload_bytes=payload,
+        )
+
+    def pcie_copy(
+        self,
+        gpu: int,
+        nbytes: float,
+        active_gpus: "list[int] | None" = None,
+    ) -> CommCost:
+        """Bulk DMA copy between host and one GPU (no amplification)."""
+        if nbytes == 0:
+            return ZERO_COST
+        bw = self.topology.pcie_bandwidth(gpu, active_gpus)
+        return CommCost(
+            time=self.pcie_latency + nbytes / bw,
+            pcie_bytes=float(nbytes),
+            payload_bytes=float(nbytes),
+        )
+
+    def peer_copy(self, src: int, dst: int, nbytes: float) -> CommCost:
+        """Point-to-point GPU copy over the NVLink route."""
+        if src == dst or nbytes == 0:
+            return ZERO_COST
+        hops = self.topology.route(src, dst)
+        bw = self.topology.path_bandwidth(src, dst)
+        return CommCost(
+            time=len(hops) * self.hop_latency + nbytes / bw,
+            nvlink_bytes=float(nbytes) * len(hops),
+            payload_bytes=float(nbytes),
+        )

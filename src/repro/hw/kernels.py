@@ -1,0 +1,143 @@
+"""GPU kernel duration model.
+
+The paper's Fig 2 shows that the graph-sampling and feature-loading
+kernels stop getting faster well before all 5120 physical threads are
+allocated: they are bound by memory latency/bandwidth, not compute.
+This module models a kernel as
+
+    duration(threads) = launch + work / rate(min(threads, sat_threads))
+
+where ``rate`` grows linearly with the granted threads up to the
+kernel's saturation point ``sat_threads``.  The execution engine uses
+``threads`` as the kernel's SM-resource footprint, which is what lets
+the pipeline overlap small kernels from different mini-batches (Fig 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hw.devices import GPUSpec
+from repro.utils.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """One GPU kernel invocation.
+
+    ``work`` is in kernel-specific units (tasks, bytes, FLOPs);
+    ``full_rate`` is the device's rate in those units per second at (or
+    beyond) saturation; ``sat_threads`` is where the kernel stops
+    scaling (Fig 2: ~1-2k threads for sampling/loading).
+    """
+
+    name: str
+    work: float
+    full_rate: float
+    sat_threads: int
+    threads: int  # threads the kernel requests / its resource footprint
+    launch_s: float = 6e-6
+
+    def __post_init__(self) -> None:
+        if self.work < 0 or self.full_rate <= 0:
+            raise ConfigError("work must be >= 0 and rate positive")
+        if self.sat_threads <= 0 or self.threads <= 0:
+            raise ConfigError("thread counts must be positive")
+
+
+def kernel_duration(spec: KernelSpec, granted_threads: int | None = None) -> float:
+    """Simulated duration of ``spec`` when given ``granted_threads``.
+
+    The rate scales linearly below ``sat_threads`` and is flat above —
+    allocating more threads than the saturation point buys nothing,
+    which is exactly the Fig 2 curve.
+    """
+    threads = spec.threads if granted_threads is None else granted_threads
+    if threads <= 0:
+        raise ConfigError("granted_threads must be positive")
+    eff = min(threads, spec.sat_threads) / spec.sat_threads
+    return spec.launch_s + spec.work / (spec.full_rate * eff)
+
+
+# ----------------------------------------------------------------------
+# kernel builders for the workloads in the paper
+# ----------------------------------------------------------------------
+def _footprint(work_per_thread: float, work: float, lo: int, hi: int) -> int:
+    """SM threads a kernel can keep busy: light kernels occupy few
+    threads — the root cause of the paper's low utilization (Fig 2/6)."""
+    return int(np.clip(work / max(work_per_thread, 1e-9), lo, hi))
+
+
+def sampling_kernel(gpu: GPUSpec, num_tasks: float, fanout: int) -> KernelSpec:
+    """Local neighbour sampling of ``num_tasks`` frontier nodes.
+
+    Work is one unit per sampled neighbour; the kernel saturates early
+    because it is bound by irregular adjacency reads.
+    """
+    work = float(num_tasks) * max(fanout, 1)
+    # memory-latency bound: DSP launches it with ~1k threads (it stops
+    # scaling there, Fig 2), leaving most SMs free for overlap
+    return KernelSpec(
+        name="sample",
+        work=work,
+        full_rate=gpu.sample_rate,
+        sat_threads=1024,
+        threads=_footprint(8.0, work, 128, 1024),
+        launch_s=gpu.kernel_launch_s,
+    )
+
+
+def gather_kernel(gpu: GPUSpec, nbytes: float) -> KernelSpec:
+    """Gathering feature rows from device memory (irregular access)."""
+    return KernelSpec(
+        name="gather",
+        work=float(nbytes),
+        full_rate=gpu.gather_rate,
+        sat_threads=2048,
+        threads=_footprint(2048.0, float(nbytes), 256, 2048),
+        launch_s=gpu.kernel_launch_s,
+    )
+
+
+def compute_kernel(
+    gpu: GPUSpec, flops: float, name: str = "compute",
+    footprint_scale: float = 1.0,
+) -> KernelSpec:
+    """Dense model compute (GNN layer matmuls).
+
+    A big GEMM fills the device; the small per-batch GEMMs of
+    multi-GPU GNN training do not (paper §1: "the kernels for GNN
+    training are lighter than those for ordinary neural networks").
+    ``footprint_scale`` < 1 marks a proportionally shrunk mini-batch:
+    occupancy is computed from the full-batch-equivalent FLOPs so the
+    overlap behaviour matches the paper's batch size.
+    """
+    return KernelSpec(
+        name=name,
+        work=float(flops),
+        full_rate=gpu.flops,
+        sat_threads=gpu.total_threads,
+        threads=_footprint(
+            1e6 * footprint_scale, float(flops), 512, gpu.total_threads
+        ),
+        launch_s=gpu.kernel_launch_s,
+    )
+
+
+def comm_kernel(gpu: GPUSpec, duration: float, name: str = "comm") -> KernelSpec:
+    """A communication kernel of known duration.
+
+    NCCL send/recv kernels need only a small number of threads to
+    saturate a link (paper §5), so their footprint is tiny — that is
+    why overlapping them with compute pays off.
+    """
+    return KernelSpec(
+        name=name,
+        work=duration,
+        full_rate=1.0,
+        sat_threads=1,
+        threads=128,
+        launch_s=0.0,
+    )

@@ -1,0 +1,179 @@
+"""Differentiable operations beyond Tensor's operators.
+
+Includes the segment (scatter/gather) primitives that graph neural
+network layers are made of: a block's edges are flattened into parallel
+``src index`` / ``dst segment`` arrays, and aggregation becomes a
+segment reduction — the same structure the CUDA kernels use.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+from repro.utils.errors import ReproError
+from repro.utils.rng import make_rng
+
+
+def relu(x: Tensor) -> Tensor:
+    mask = x.data > 0
+
+    def backward(g):
+        x._accumulate(g * mask)
+
+    return Tensor._make(x.data * mask, (x,), backward)
+
+
+def leaky_relu(x: Tensor, slope: float = 0.2) -> Tensor:
+    factor = np.where(x.data > 0, 1.0, slope).astype(np.float32)
+
+    def backward(g):
+        x._accumulate(g * factor)
+
+    return Tensor._make(x.data * factor, (x,), backward)
+
+
+def dropout(
+    x: Tensor, p: float, rng: np.random.Generator | int | None = None,
+    training: bool = True,
+) -> Tensor:
+    if not 0.0 <= p < 1.0:
+        raise ReproError("dropout p must be in [0, 1)")
+    if not training or p == 0.0:
+        return x
+    keep = (make_rng(rng).random(x.shape) >= p) / (1.0 - p)
+    keep = keep.astype(np.float32)
+
+    def backward(g):
+        x._accumulate(g * keep)
+
+    return Tensor._make(x.data * keep, (x,), backward)
+
+
+def concat(tensors: list[Tensor], axis: int = 1) -> Tensor:
+    datas = [t.data for t in tensors]
+    out = np.concatenate(datas, axis=axis)
+    splits = np.cumsum([d.shape[axis] for d in datas])[:-1]
+
+    def backward(g):
+        for t, piece in zip(tensors, np.split(g, splits, axis=axis)):
+            t._accumulate(piece)
+
+    return Tensor._make(out, tuple(tensors), backward)
+
+
+def gather_rows(x: Tensor, idx: np.ndarray) -> Tensor:
+    """Row gather ``x[idx]``; backward scatters with accumulation."""
+    idx = np.asarray(idx, dtype=np.int64)
+
+    def backward(g):
+        grad = np.zeros_like(x.data)
+        np.add.at(grad, idx, g)
+        x._accumulate(grad)
+
+    return Tensor._make(x.data[idx], (x,), backward)
+
+
+def segment_sum(x: Tensor, seg: np.ndarray, num_segments: int) -> Tensor:
+    """Sum rows of ``x`` into ``num_segments`` buckets by ``seg`` id."""
+    seg = np.asarray(seg, dtype=np.int64)
+    if len(seg) != x.shape[0]:
+        raise ReproError("need one segment id per row")
+    out = np.zeros((num_segments,) + x.shape[1:], dtype=np.float32)
+    np.add.at(out, seg, x.data)
+
+    def backward(g):
+        x._accumulate(g[seg])
+
+    return Tensor._make(out, (x,), backward)
+
+
+def segment_mean(x: Tensor, seg: np.ndarray, num_segments: int) -> Tensor:
+    """Mean rows per segment; empty segments yield zero rows."""
+    seg = np.asarray(seg, dtype=np.int64)
+    if len(seg) != x.shape[0]:
+        raise ReproError("need one segment id per row")
+    counts = np.bincount(seg, minlength=num_segments).astype(np.float32)
+    denom = np.maximum(counts, 1.0).reshape((num_segments,) + (1,) * (x.ndim - 1))
+    out = np.zeros((num_segments,) + x.shape[1:], dtype=np.float32)
+    np.add.at(out, seg, x.data)
+    out /= denom
+
+    def backward(g):
+        x._accumulate((g / denom)[seg])
+
+    return Tensor._make(out, (x,), backward)
+
+
+def segment_max(x: Tensor, seg: np.ndarray, num_segments: int) -> Tensor:
+    """Per-segment element-wise max; empty segments yield zero rows.
+
+    Backward routes each output gradient to one argmax row per
+    (segment, column) — the max-pool aggregator of GraphSAGE.
+    """
+    seg = np.asarray(seg, dtype=np.int64)
+    if len(seg) != x.shape[0]:
+        raise ReproError("need one segment id per row")
+    out = np.full((num_segments,) + x.shape[1:], -np.inf, dtype=np.float32)
+    np.maximum.at(out, seg, x.data)
+    empty = np.isneginf(out)
+    out[empty] = 0.0
+
+    # one winning row per (segment, column): the first row attaining the
+    # max — fully vectorized via a stable sort over the candidate hits
+    ncols = int(np.prod(x.shape[1:])) if x.ndim > 1 else 1
+    hit_rows, hit_cols = np.nonzero(
+        x.data.reshape(len(seg), -1) == out.reshape(num_segments, -1)[seg]
+    )
+    key = seg[hit_rows] * np.int64(ncols) + hit_cols
+    order = np.argsort(key, kind="stable")  # row-major nonzero keeps rows sorted
+    uniq_key, first = np.unique(key[order], return_index=True)
+    win_rows = hit_rows[order][first]
+    win_seg = uniq_key // ncols
+    win_cols = uniq_key % ncols
+
+    def backward(g):
+        grad = np.zeros_like(x.data).reshape(len(seg), -1)
+        grad[win_rows, win_cols] += g.reshape(num_segments, -1)[win_seg, win_cols]
+        x._accumulate(grad.reshape(x.shape))
+
+    return Tensor._make(out, (x,), backward)
+
+
+def segment_softmax(scores: Tensor, seg: np.ndarray, num_segments: int) -> Tensor:
+    """Softmax within each segment (GAT attention normalization)."""
+    seg = np.asarray(seg, dtype=np.int64)
+    if scores.ndim != 1:
+        raise ReproError("segment_softmax expects a 1-D score vector")
+    if len(seg) != scores.shape[0]:
+        raise ReproError("need one segment id per score")
+    # numerically stable: subtract per-segment max
+    seg_max = np.full(num_segments, -np.inf, dtype=np.float32)
+    np.maximum.at(seg_max, seg, scores.data)
+    shifted = scores.data - seg_max[seg]
+    e = np.exp(shifted)
+    denom = np.zeros(num_segments, dtype=np.float32)
+    np.add.at(denom, seg, e)
+    out = e / denom[seg]
+
+    def backward(g):
+        # d softmax: out * (g - sum_seg(g * out))
+        dot = np.zeros(num_segments, dtype=np.float32)
+        np.add.at(dot, seg, g * out)
+        scores._accumulate(out * (g - dot[seg]))
+
+    return Tensor._make(out, (scores,), backward)
+
+
+def log_softmax(x: Tensor) -> Tensor:
+    """Row-wise log-softmax (classification head)."""
+    m = x.data.max(axis=1, keepdims=True)
+    shifted = x.data - m
+    lse = np.log(np.exp(shifted).sum(axis=1, keepdims=True))
+    out = shifted - lse
+
+    def backward(g):
+        soft = np.exp(out)
+        x._accumulate(g - soft * g.sum(axis=1, keepdims=True))
+
+    return Tensor._make(out, (x,), backward)

@@ -1,0 +1,54 @@
+"""Data-parallel training support (paper §3.2, "Trainer").
+
+Every GPU holds a model replica; after the backward pass the trainers
+allreduce (average) gradients so each replica takes an identical
+optimizer step — the BSP semantics that make DSP's accuracy-per-batch
+curve coincide with the baselines' (Fig 9a).
+"""
+
+from __future__ import annotations
+
+import copy
+
+import numpy as np
+
+from repro.nn.modules import Module
+from repro.utils.errors import ReproError
+
+
+def clone_model(model: Module, n: int) -> list[Module]:
+    """``n`` independent replicas with identical initial parameters
+    (``n == 0`` yields an empty list)."""
+    if n < 0:
+        raise ReproError("replica count must be non-negative")
+    return [copy.deepcopy(model) for _ in range(n)]
+
+
+def gradient_nbytes(model: Module) -> int:
+    """Bytes a full gradient occupies (the allreduce payload per GPU)."""
+    return model.state_nbytes()
+
+
+def allreduce_gradients(models: list[Module]) -> None:
+    """Average gradients in place across replicas.
+
+    Replicas whose parameter ``grad`` is ``None`` contribute zero (they
+    had no work this step), matching NCCL allreduce semantics where
+    every rank must participate.
+    """
+    if not models:
+        raise ReproError("no replicas")
+    param_lists = [m.parameters() for m in models]
+    n_params = len(param_lists[0])
+    if any(len(pl) != n_params for pl in param_lists):
+        raise ReproError("replicas have different parameter counts")
+    k = len(models)
+    for i in range(n_params):
+        grads = [
+            pl[i].grad for pl in param_lists if pl[i].grad is not None
+        ]
+        if not grads:
+            continue
+        mean = np.sum(grads, axis=0) / k
+        for pl in param_lists:
+            pl[i].grad = mean.copy()

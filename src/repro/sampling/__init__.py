@@ -1,0 +1,57 @@
+"""Graph sampling: the collective sampling primitive (CSP) and baselines.
+
+The centrepiece is :class:`~repro.sampling.csp.CollectiveSampler`
+implementing the paper's CSP (§4): layer-by-layer sampling on a graph
+partitioned across GPUs, in three stages per layer — *shuffle* frontier
+nodes to the GPU owning their adjacency lists, *sample* locally with a
+fused kernel, and *reshuffle* the sampled neighbours back.  CSP
+expresses node-wise and layer-wise schemes, biased and unbiased
+sampling, with and without replacement, and random walks (Table 2).
+
+Baselines implement the alternatives the paper measures against:
+
+- :class:`~repro.sampling.uva.UVASampler` — topology in host memory,
+  sampled through UVA over PCIe with read amplification (DGL-UVA,
+  Quiver).
+- :class:`~repro.sampling.cpu.CPUSampler` — host-side sampling with
+  graph samples shipped to GPU (PyG, DGL-CPU).
+- :class:`~repro.sampling.pulldata.PullDataSampler` — partitioned
+  topology, but *pulling* whole adjacency lists from remote GPUs
+  instead of pushing tasks (the Fig 11 comparison).
+
+All samplers produce identical functional output distributions; they
+differ in where the data lives and what the movement costs, which is
+captured in the per-mini-batch statistics each sampler returns.
+"""
+
+from repro.sampling.frontier import Block, MiniBatchSample
+from repro.sampling.local import sample_neighbors, GraphPatch
+from repro.sampling.csp import CollectiveSampler, CSPConfig, CSPStats
+from repro.sampling.uva import UVASampler
+from repro.sampling.cpu import CPUSampler
+from repro.sampling.pulldata import PullDataSampler
+from repro.sampling.layerwise import layerwise_quotas, layerwise_sample_noreplace
+from repro.sampling.randomwalk import node2vec_walk, random_walk
+from repro.sampling.temporal import (
+    TemporalCollectiveSampler,
+    temporal_sample_neighbors,
+)
+
+__all__ = [
+    "Block",
+    "MiniBatchSample",
+    "sample_neighbors",
+    "GraphPatch",
+    "CollectiveSampler",
+    "CSPConfig",
+    "CSPStats",
+    "UVASampler",
+    "CPUSampler",
+    "PullDataSampler",
+    "layerwise_quotas",
+    "layerwise_sample_noreplace",
+    "random_walk",
+    "node2vec_walk",
+    "TemporalCollectiveSampler",
+    "temporal_sample_neighbors",
+]

@@ -1,0 +1,78 @@
+"""CPU sampling baseline (PyG, DGL-CPU; paper §1).
+
+Graph topology and sampling both live on the host: every GPU's
+mini-batch is sampled by CPU threads (all GPUs contend for the same
+cores — the scalability wall of Table 4/6), and the finished graph
+samples are shipped to the GPUs over PCIe as bulk copies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.sampling.csp import CSPConfig, CSPStats
+from repro.sampling.frontier import Block, MiniBatchSample, next_frontier
+from repro.sampling.local import GraphPatch, sample_neighbors
+from repro.sampling.ops import HostWork, OpTrace, PCIeCopy
+from repro.utils.errors import ConfigError
+from repro.utils.rng import make_rng, spawn_rngs
+
+
+class CPUSampler:
+    """Host-side sampling; samples are DMA-copied to each GPU."""
+
+    def __init__(self, graph: CSRGraph, num_gpus: int, seed: int = 0):
+        if num_gpus <= 0:
+            raise ConfigError("need at least one GPU")
+        self.patch = GraphPatch.full(graph)
+        self.num_gpus = num_gpus
+        self.rngs = spawn_rngs(make_rng(seed), num_gpus)
+
+    def sample(
+        self,
+        seeds_per_gpu: list[np.ndarray],
+        config: CSPConfig,
+    ) -> tuple[list[MiniBatchSample], OpTrace, CSPStats]:
+        """Sample one mini-batch on the host and DMA it to the GPUs."""
+        if len(seeds_per_gpu) != self.num_gpus:
+            raise ConfigError("need one seed array per GPU")
+        if config.scheme != "node":
+            raise ConfigError("the CPU baseline implements node-wise sampling")
+        trace = OpTrace()
+        k = self.num_gpus
+        seeds = [np.asarray(s, dtype=np.int64) for s in seeds_per_gpu]
+
+        frontiers = list(seeds)
+        blocks_per_gpu: list[list[Block]] = [[] for _ in range(k)]
+        tasks_total = sampled_total = 0
+        for layer in range(config.num_layers):
+            fanout = config.fanout[layer]
+            host_tasks = np.zeros(k, dtype=np.float64)
+            for g in range(k):
+                frontier = frontiers[g]
+                src, counts = sample_neighbors(
+                    self.patch,
+                    frontier,
+                    fanout,
+                    rng=self.rngs[g],
+                    replace=config.replace,
+                    biased=config.biased,
+                )
+                offsets = np.concatenate([[0], np.cumsum(counts)])
+                blocks_per_gpu[g].append(Block(frontier, src, offsets))
+                tasks_total += len(frontier)
+                sampled_total += len(src)
+                host_tasks[g] = float(len(src))
+            trace.add(HostWork(host_tasks, label=f"cpu-sample-L{layer}"))
+            frontiers = [next_frontier(blocks_per_gpu[g][-1]) for g in range(k)]
+
+        # one bulk H2D copy of the finished graph sample per GPU
+        copy_bytes = np.zeros(k, dtype=np.float64)
+        samples = []
+        for g in range(k):
+            sample = MiniBatchSample(seeds=seeds[g], blocks=tuple(blocks_per_gpu[g]))
+            samples.append(sample)
+            copy_bytes[g] = float(sample.nbytes)
+        trace.add(PCIeCopy(copy_bytes, to_device=True, label="sample-h2d"))
+        return samples, trace, CSPStats(tasks_total, sampled_total, 0)

@@ -1,0 +1,342 @@
+"""The Collective Sampling Primitive (CSP), paper §4.
+
+CSP constructs graph samples on a topology partitioned over GPUs,
+layer by layer, each layer in three synchronous stages:
+
+1. **shuffle** — every frontier node is sent to the GPU owning its
+   adjacency list (a task *push*: 8 bytes per node instead of the whole
+   adjacency list);
+2. **sample** — each GPU runs ONE fused kernel over all tasks it
+   received for the layer;
+3. **reshuffle** — sampled neighbour ids travel back to the GPU that
+   requested them.
+
+Nodes whose adjacency list is local skip both transfers (the diagonal
+of the all-to-all matrices), which is why co-partitioning seeds with
+graph patches matters (§3.1).  The returned
+:class:`~repro.sampling.ops.OpTrace` records the exact all-to-all byte
+matrices and kernel work counts for the cost engine, while the returned
+:class:`~repro.sampling.frontier.MiniBatchSample` objects carry the
+functional result used for feature loading and training.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sampling.frontier import Block, MiniBatchSample, next_frontier
+from repro.sampling.local import GraphPatch, _ranges, sample_neighbors
+from repro.sampling.ops import AllToAll, LocalKernel, OpTrace
+from repro.utils.errors import ConfigError
+from repro.utils.rng import make_rng, spawn_rngs
+
+#: wire bytes per node id / per count / per weight entry
+ID_BYTES = 8
+
+
+@dataclass(frozen=True)
+class CSPConfig:
+    """Configurable parameters of CSP (paper Table 2).
+
+    ``fanout[k]`` is the per-node neighbour count for node-wise
+    sampling, or the layer's total budget for layer-wise sampling.
+    """
+
+    fanout: tuple[int, ...]
+    scheme: str = "node"  # "node" or "layer"
+    biased: bool = False
+    replace: bool = True
+
+    def __post_init__(self) -> None:
+        if self.scheme not in ("node", "layer"):
+            raise ConfigError(f"unknown scheme {self.scheme!r}")
+        if not self.fanout or any(f < 0 for f in self.fanout):
+            raise ConfigError("fanout must be non-empty and non-negative")
+
+    @property
+    def num_layers(self) -> int:
+        return len(self.fanout)
+
+
+@dataclass(frozen=True)
+class CSPStats:
+    """Aggregate counters of one CSP invocation."""
+
+    tasks_total: int
+    sampled_total: int
+    local_tasks: int  # tasks whose adjacency list was already local
+
+    @property
+    def locality(self) -> float:
+        return self.local_tasks / self.tasks_total if self.tasks_total else 1.0
+
+
+class CollectiveSampler:
+    """CSP over a set of graph patches (one per GPU)."""
+
+    def __init__(
+        self,
+        patches: list[GraphPatch],
+        part_offsets: np.ndarray,
+        seed: int = 0,
+    ):
+        if not patches:
+            raise ConfigError("need at least one patch")
+        part_offsets = np.asarray(part_offsets, dtype=np.int64)
+        if len(part_offsets) != len(patches) + 1:
+            raise ConfigError("part_offsets must have num_gpus + 1 entries")
+        for g, patch in enumerate(patches):
+            if patch.base != part_offsets[g]:
+                raise ConfigError(f"patch {g} base does not match offsets")
+            if patch.num_local != part_offsets[g + 1] - part_offsets[g]:
+                raise ConfigError(f"patch {g} size does not match offsets")
+        self.patches = list(patches)
+        self.part_offsets = part_offsets
+        self.num_gpus = len(patches)
+        self.rngs = spawn_rngs(make_rng(seed), self.num_gpus)
+
+    @classmethod
+    def from_partitioned(
+        cls,
+        graph,
+        part_offsets: np.ndarray,
+        seed: int = 0,
+    ) -> "CollectiveSampler":
+        """Build patches by slicing a partition-renumbered whole-graph CSR.
+
+        ``graph`` must already be renumbered so each GPU's nodes form the
+        consecutive range ``[part_offsets[g], part_offsets[g + 1])`` (see
+        :func:`repro.graph.reorder.renumber_by_partition`).
+        """
+        part_offsets = np.asarray(part_offsets, dtype=np.int64)
+        patches = [
+            GraphPatch.from_graph(graph, int(part_offsets[g]), int(part_offsets[g + 1]))
+            for g in range(len(part_offsets) - 1)
+        ]
+        return cls(patches, part_offsets, seed=seed)
+
+    # ------------------------------------------------------------------
+    def owner_of(self, ids: np.ndarray) -> np.ndarray:
+        """GPU owning each global id — the §6 range check."""
+        return np.searchsorted(self.part_offsets, ids, side="right") - 1
+
+    # ------------------------------------------------------------------
+    def sample(
+        self,
+        seeds_per_gpu: list[np.ndarray],
+        config: CSPConfig,
+    ) -> tuple[list[MiniBatchSample], OpTrace, CSPStats]:
+        """Run CSP for one mini-batch (one seed array per GPU)."""
+        if len(seeds_per_gpu) != self.num_gpus:
+            raise ConfigError("need one seed array per GPU")
+        seeds = [np.asarray(s, dtype=np.int64) for s in seeds_per_gpu]
+        trace = OpTrace()
+        tasks_total = sampled_total = local_tasks = 0
+
+        frontiers = seeds
+        blocks_per_gpu: list[list[Block]] = [[] for _ in range(self.num_gpus)]
+        for layer, budget in enumerate(config.fanout):
+            if config.scheme == "layer" and not config.replace:
+                # exact weighted sampling without replacement via
+                # distributed Efraimidis-Spirakis keys (Table 7 path)
+                from repro.sampling.layerwise import layerwise_sample_noreplace
+
+                layer_blocks, _ = layerwise_sample_noreplace(
+                    self, frontiers, budget, biased=config.biased, trace=trace
+                )
+                t = sum(len(f) for f in frontiers)
+                s = sum(b.num_edges for b in layer_blocks)
+                loc = sum(
+                    int((self.owner_of(f) == g).sum())
+                    for g, f in enumerate(frontiers)
+                )
+                tasks_total += t
+                sampled_total += s
+                local_tasks += loc
+                for g, block in enumerate(layer_blocks):
+                    blocks_per_gpu[g].append(block)
+                frontiers = [next_frontier(b) for b in layer_blocks]
+                continue
+            if config.scheme == "layer":
+                quotas = self._layerwise_quotas(frontiers, budget, config, trace)
+            else:
+                quotas = [np.full(len(f), budget, dtype=np.int64) for f in frontiers]
+
+            layer_blocks, t, s, loc = self._one_layer(
+                frontiers, quotas, config, trace, layer
+            )
+            tasks_total += t
+            sampled_total += s
+            local_tasks += loc
+            for g, block in enumerate(layer_blocks):
+                blocks_per_gpu[g].append(block)
+            frontiers = [next_frontier(b) for b in layer_blocks]
+
+        samples = [
+            MiniBatchSample(seeds=seeds[g], blocks=tuple(blocks_per_gpu[g]))
+            for g in range(self.num_gpus)
+        ]
+        stats = CSPStats(tasks_total, sampled_total, local_tasks)
+        return samples, trace, stats
+
+    # ------------------------------------------------------------------
+    # one shuffle / sample / reshuffle round
+    # ------------------------------------------------------------------
+    def _one_layer(
+        self,
+        frontiers: list[np.ndarray],
+        quotas: list[np.ndarray],
+        config: CSPConfig,
+        trace: OpTrace,
+        layer: int,
+    ) -> tuple[list[Block], int, int, int]:
+        k = self.num_gpus
+        per_task_bytes = ID_BYTES * (2 if config.scheme == "layer" else 1)
+
+        # ---- shuffle: group each GPU's tasks by owner -------------------
+        perms, owner_counts = [], np.zeros((k, k), dtype=np.int64)
+        for g, frontier in enumerate(frontiers):
+            owners = self.owner_of(frontier)
+            perm = np.argsort(owners, kind="stable")
+            perms.append(perm)
+            owner_counts[g] = np.bincount(owners, minlength=k)
+        shuffle = owner_counts.astype(np.float64) * per_task_bytes
+        trace.add(AllToAll(np.where(np.eye(k, dtype=bool), 0.0, shuffle),
+                           label=f"shuffle-L{layer}"))
+
+        # ---- sample: one fused kernel per owner GPU ---------------------
+        # owner o receives, for each origin g, a contiguous slice of g's
+        # owner-sorted frontier
+        src_by_owner_origin: list[list[np.ndarray]] = [[] for _ in range(k)]
+        cnt_by_owner_origin: list[list[np.ndarray]] = [[] for _ in range(k)]
+        kernel_work = np.zeros(k, dtype=np.float64)
+        reshuffle = np.zeros((k, k), dtype=np.float64)
+
+        slice_bounds = [np.concatenate([[0], np.cumsum(owner_counts[g])])
+                        for g in range(k)]
+        for o, patch in enumerate(self.patches):
+            task_chunks, quota_chunks, origin_sizes = [], [], []
+            for g in range(k):
+                lo, hi = slice_bounds[g][o], slice_bounds[g][o + 1]
+                sel = perms[g][lo:hi]
+                task_chunks.append(frontiers[g][sel])
+                quota_chunks.append(quotas[g][sel])
+                origin_sizes.append(hi - lo)
+            tasks = np.concatenate(task_chunks) if task_chunks else np.empty(0, np.int64)
+            quota = np.concatenate(quota_chunks) if quota_chunks else np.empty(0, np.int64)
+            src, counts = sample_neighbors(
+                patch,
+                tasks - patch.base,
+                quota,
+                rng=self.rngs[o],
+                replace=config.replace,
+                biased=config.biased,
+            )
+            kernel_work[o] = float(counts.sum())
+            # split the results back per origin
+            cuts = np.cumsum(origin_sizes)[:-1]
+            counts_split = np.split(counts, cuts)
+            src_cuts = np.cumsum([c.sum() for c in counts_split])[:-1]
+            src_split = np.split(src, src_cuts)
+            for g in range(k):
+                cnt_by_owner_origin[o].append(counts_split[g])
+                src_by_owner_origin[o].append(src_split[g])
+                reshuffle[o, g] = (
+                    src_split[g].nbytes + counts_split[g].nbytes
+                )
+
+        trace.add(LocalKernel("sample", kernel_work, label=f"sample-L{layer}"))
+        trace.add(AllToAll(np.where(np.eye(k, dtype=bool), 0.0, reshuffle),
+                           label=f"reshuffle-L{layer}"))
+
+        # ---- reassemble blocks on the origin GPUs -----------------------
+        blocks = []
+        tasks_total = sampled_total = local_tasks = 0
+        for g in range(k):
+            counts_perm = np.concatenate(
+                [cnt_by_owner_origin[o][g] for o in range(k)]
+            )
+            src_perm = np.concatenate([src_by_owner_origin[o][g] for o in range(k)])
+            # counts_perm aligns with frontiers[g][perms[g]]; un-permute
+            inv = np.empty_like(perms[g])
+            inv[perms[g]] = np.arange(len(perms[g]))
+            starts_perm = np.concatenate([[0], np.cumsum(counts_perm)])[:-1]
+            counts = counts_perm[inv]
+            gather = np.repeat(starts_perm[inv], counts) + _ranges(counts)
+            src = src_perm[gather]
+            offsets = np.concatenate([[0], np.cumsum(counts)])
+            blocks.append(Block(frontiers[g], src, offsets))
+            tasks_total += len(frontiers[g])
+            sampled_total += len(src)
+            local_tasks += int(owner_counts[g, g])
+        return blocks, tasks_total, sampled_total, local_tasks
+
+    # ------------------------------------------------------------------
+    # layer-wise quota assignment (paper Eq. (2))
+    # ------------------------------------------------------------------
+    def _layerwise_quotas(
+        self,
+        frontiers: list[np.ndarray],
+        budget: int,
+        config: CSPConfig,
+        trace: OpTrace,
+    ) -> list[np.ndarray]:
+        """Split a layer budget over frontier nodes, Eq. (2).
+
+        Frontier node ``u`` is drawn (with replacement, ``budget``
+        times) with probability ``W_u / sum W``, where ``W_u`` is the
+        total weight of ``u``'s neighbours (the degree when unbiased).
+        The number of times ``u`` was drawn becomes its fan-out for the
+        shuffle/sample/reshuffle round — equivalent to pulling the
+        adjacency lists but with far less communication (§4.2).
+
+        ``W_u`` lives with the owner of ``u``'s adjacency list, so this
+        does one lightweight id -> weight exchange, which the trace
+        records.
+        """
+        k = self.num_gpus
+        weights = self._fetch_frontier_weights(frontiers, config, trace)
+        quotas = []
+        for g, frontier in enumerate(frontiers):
+            w = weights[g]
+            total = w.sum()
+            if len(frontier) == 0 or total <= 0:
+                quotas.append(np.zeros(len(frontier), dtype=np.int64))
+                continue
+            quotas.append(
+                self.rngs[g].multinomial(budget, w / total).astype(np.int64)
+            )
+        return quotas
+
+    def _fetch_frontier_weights(
+        self,
+        frontiers: list[np.ndarray],
+        config: CSPConfig,
+        trace: OpTrace,
+    ) -> list[np.ndarray]:
+        """W_u for every frontier node, fetched from the owning GPUs."""
+        k = self.num_gpus
+        request = np.zeros((k, k), dtype=np.float64)
+        weights = []
+        for g, frontier in enumerate(frontiers):
+            owners = self.owner_of(frontier)
+            request[g] = np.bincount(owners, minlength=k) * ID_BYTES
+            w = np.empty(len(frontier), dtype=np.float64)
+            for o in np.unique(owners):
+                patch = self.patches[o]
+                mask = owners == o
+                local = frontier[mask] - patch.base
+                if config.biased:
+                    cum = patch.cum_weights
+                    starts = patch.indptr[local]
+                    ends = patch.indptr[local + 1]
+                    w[mask] = cum[ends] - cum[starts]
+                else:
+                    w[mask] = (patch.indptr[local + 1] - patch.indptr[local])
+            weights.append(w)
+        off = np.where(np.eye(k, dtype=bool), 0.0, request)
+        trace.add(AllToAll(off, label="weights-req"))
+        trace.add(AllToAll(off.T, label="weights-resp"))
+        return weights

@@ -1,0 +1,214 @@
+"""Per-GPU local sampling kernels.
+
+In CSP's *sample* stage each GPU executes all the sampling tasks it
+received for one layer as a single fused kernel (paper §4.1).  This
+module is that kernel: given a graph patch and a batch of (frontier
+node, fan-out) tasks, draw neighbours.  Everything is vectorized —
+no per-task Python loops — mirroring how the CUDA kernel treats tasks
+as a flat work list.
+
+Four sampling modes are supported (paper Table 2):
+
+- unbiased / biased (per-edge weights, drawn with probability
+  ``w_u / sum of w over N(v)``, §4.2),
+- with / without replacement (without replacement keeps
+  ``min(fanout, degree)`` distinct neighbours, Efraimidis–Spirakis
+  keys for the biased case).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.utils.errors import ReproError
+from repro.utils.rng import make_rng
+
+
+@dataclass(frozen=True)
+class GraphPatch:
+    """A consecutive global-id slice of the (renumbered) graph.
+
+    ``indptr`` is local (row ``i`` is global node ``base + i``);
+    ``indices`` stores *global* neighbour ids, exactly like the paper's
+    per-GPU CSR (§6).
+    """
+
+    base: int
+    indptr: np.ndarray
+    indices: np.ndarray
+    weights: np.ndarray | None = None
+
+    @property
+    def num_local(self) -> int:
+        return len(self.indptr) - 1
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.indices)
+
+    @property
+    def degrees(self) -> np.ndarray:
+        return np.diff(self.indptr)
+
+    @property
+    def nbytes(self) -> int:
+        n = self.indptr.nbytes + self.indices.nbytes
+        if self.weights is not None:
+            n += self.weights.nbytes
+        return n
+
+    @cached_property
+    def cum_weights(self) -> np.ndarray:
+        """Prefix sums of edge weights with a leading 0 (biased sampling)."""
+        if self.weights is None:
+            raise ReproError("patch has no edge weights")
+        out = np.zeros(len(self.weights) + 1, dtype=np.float64)
+        np.cumsum(self.weights, out=out[1:])
+        return out
+
+    @classmethod
+    def from_graph(cls, graph: CSRGraph, lo: int, hi: int) -> "GraphPatch":
+        """Rows ``[lo, hi)`` of a renumbered whole-graph CSR."""
+        if not 0 <= lo <= hi <= graph.num_nodes:
+            raise ReproError(f"bad patch range [{lo}, {hi})")
+        e_lo, e_hi = graph.indptr[lo], graph.indptr[hi]
+        w = None if graph.edge_weights is None else graph.edge_weights[e_lo:e_hi]
+        return cls(
+            base=lo,
+            indptr=graph.indptr[lo : hi + 1] - e_lo,
+            indices=graph.indices[e_lo:e_hi],
+            weights=w,
+        )
+
+    @classmethod
+    def full(cls, graph: CSRGraph) -> "GraphPatch":
+        """The whole graph as one patch (single GPU / UVA / CPU samplers)."""
+        return cls.from_graph(graph, 0, graph.num_nodes)
+
+
+def sample_neighbors(
+    patch: GraphPatch,
+    local_ids: np.ndarray,
+    fanout: "int | np.ndarray",
+    rng: np.random.Generator | int | None = None,
+    replace: bool = True,
+    biased: bool = False,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Sample neighbours for a batch of tasks on one patch.
+
+    Parameters
+    ----------
+    local_ids:
+        Patch-local frontier node ids (``global - base``).
+    fanout:
+        Scalar, or one entry per task (layer-wise sampling assigns each
+        frontier node its own quota, §4.2).
+
+    Returns ``(src, counts)``: sampled global neighbour ids concatenated
+    per task, and the per-task sample counts.  Zero-degree tasks yield
+    zero samples.
+    """
+    rng = make_rng(rng)
+    local_ids = np.asarray(local_ids, dtype=np.int64)
+    T = len(local_ids)
+    if T and (local_ids.min() < 0 or local_ids.max() >= patch.num_local):
+        raise ReproError("local id out of range for patch")
+    f = np.broadcast_to(np.asarray(fanout, dtype=np.int64), (T,))
+    if T and f.min() < 0:
+        raise ReproError("fanout must be non-negative")
+    if biased and patch.weights is None:
+        raise ReproError("biased sampling needs edge weights")
+    if T == 0:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+
+    starts = patch.indptr[local_ids]
+    deg = patch.indptr[local_ids + 1] - starts
+
+    if replace:
+        if biased:
+            return _biased_with_replacement(patch, starts, deg, f, rng)
+        return _uniform_with_replacement(patch, starts, deg, f, rng)
+    return _without_replacement(patch, starts, deg, f, rng, biased)
+
+
+# ----------------------------------------------------------------------
+# with replacement
+# ----------------------------------------------------------------------
+def _uniform_with_replacement(patch, starts, deg, f, rng):
+    counts = np.where(deg > 0, f, 0)
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64), counts
+    deg_rep = np.repeat(deg, counts)
+    start_rep = np.repeat(starts, counts)
+    offs = (rng.random(total) * deg_rep).astype(np.int64)
+    return patch.indices[start_rep + offs], counts
+
+
+def _biased_with_replacement(patch, starts, deg, f, rng):
+    cum = patch.cum_weights
+    w_total = cum[starts + deg] - cum[starts]
+    counts = np.where((deg > 0) & (w_total > 0), f, 0)
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64), counts
+    base_rep = np.repeat(cum[starts], counts)
+    w_rep = np.repeat(w_total, counts)
+    # draw in (0, W]: inverse-CDF via searchsorted on the prefix sums
+    targets = base_rep + (1.0 - rng.random(total)) * w_rep
+    pos = np.searchsorted(cum[1:], targets, side="left")
+    return patch.indices[pos], counts
+
+
+# ----------------------------------------------------------------------
+# without replacement
+# ----------------------------------------------------------------------
+def _without_replacement(patch, starts, deg, f, rng, biased):
+    """Keep min(fanout, degree) distinct neighbours per task.
+
+    One fused pass over all candidate edges: each candidate gets a
+    random key (exponential(1)/weight for the biased case — the
+    Efraimidis–Spirakis scheme), keys are sorted within each task's
+    segment, and the smallest ``fanout`` per segment win.
+    """
+    counts = np.minimum(f, deg)
+    n_cand = int(deg.sum())
+    if n_cand == 0:
+        return np.empty(0, dtype=np.int64), counts
+
+    T = len(starts)
+    seg = np.repeat(np.arange(T, dtype=np.int64), deg)
+    pos = np.repeat(starts, deg) + _ranges(deg)
+    if biased:
+        w = patch.weights[pos].astype(np.float64)
+        keys = np.full(n_cand, np.inf)
+        nz = w > 0
+        keys[nz] = rng.exponential(size=int(nz.sum())) / w[nz]
+    else:
+        keys = rng.random(n_cand)
+
+    order = np.lexsort((keys, seg))  # by task, then ascending key
+    rank = _ranges(deg)  # rank within each sorted segment
+    selected = order[rank < np.repeat(f, deg)]
+    selected.sort()  # restore per-task grouping (stable within task)
+    return patch.indices[pos[selected]], counts
+
+
+def _ranges(sizes: np.ndarray) -> np.ndarray:
+    """Concatenated aranges: [0..s0), [0..s1), ... fully vectorized."""
+    total = int(sizes.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    out = np.ones(total, dtype=np.int64)
+    out[0] = 0
+    ends = np.cumsum(sizes)[:-1]
+    nonzero = sizes > 0
+    # at each segment start, jump back to 0
+    starts_in_flat = np.concatenate([[0], ends])[nonzero]
+    seg_sizes = sizes[nonzero]
+    out[starts_in_flat[1:]] = 1 - seg_sizes[:-1]
+    return np.cumsum(out)

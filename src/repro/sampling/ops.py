@@ -1,0 +1,195 @@
+"""Operation traces: what a sampler/loader did, for the cost engine.
+
+Every sampler and loader in this library is *functional* — it really
+draws neighbours and really gathers features — and additionally emits a
+trace of hardware-level operations describing what a real multi-GPU
+execution would have done: collective all-to-alls with exact byte
+matrices, fused local kernels with exact work counts, UVA gathers with
+exact item counts, host-side work, and bulk PCIe copies.
+
+The system models (:mod:`repro.core`) replay these traces against the
+hardware cost model (:mod:`repro.hw`) — either analytically (for a
+single number) or inside the discrete-event engine (for pipeline
+interleaving).  Keeping the trace explicit is what lets one functional
+sampling implementation support every system architecture the paper
+compares.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class AllToAll:
+    """NVLink all-to-all: ``matrix[i, j]`` payload bytes from GPU i to j."""
+
+    matrix: np.ndarray
+    label: str = "alltoall"
+
+
+@dataclass(frozen=True)
+class LocalKernel:
+    """A fused per-GPU kernel; ``work[g]`` work units on GPU ``g``.
+
+    ``kind`` selects the kernel family (rates/saturation differ):
+    ``"sample"`` (work = neighbours drawn), ``"gather"`` (work = bytes
+    moved within device memory).
+    """
+
+    kind: str
+    work: np.ndarray
+    label: str = ""
+
+
+@dataclass(frozen=True)
+class UVAGather:
+    """Random reads from host memory via UVA; per-GPU item counts.
+
+    Each item is ``item_bytes`` long and is subject to PCIe read
+    amplification (see :mod:`repro.hw.comm`).
+    """
+
+    items: np.ndarray
+    item_bytes: float
+    label: str = "uva"
+
+
+@dataclass(frozen=True)
+class HostWork:
+    """CPU-side work; ``tasks[g]`` work units issued on behalf of GPU
+    ``g``, all contending for the same host cores.
+
+    ``kind`` is ``"sample"`` (units = sampling tasks) or ``"gather"``
+    (units = bytes gathered from host memory).
+    """
+
+    tasks: np.ndarray
+    kind: str = "sample"
+    label: str = "host"
+
+
+@dataclass(frozen=True)
+class PCIeCopy:
+    """Bulk DMA transfer of ``nbytes[g]`` between host and GPU ``g``."""
+
+    nbytes: np.ndarray
+    to_device: bool = True
+    label: str = "pcie"
+
+
+@dataclass(frozen=True)
+class NetworkTransfer:
+    """Inter-machine traffic: ``matrix[a, b]`` bytes from machine a to b.
+
+    Used by the multi-machine extension (paper §3.2): machines
+    communicate only for cold features and model synchronization.  The
+    GPUs do not execute these transfers (NIC DMA), so the op behaves
+    like a host stall of the transfer duration.
+    """
+
+    matrix: np.ndarray
+    label: str = "network"
+
+
+@dataclass(frozen=True)
+class Overhead:
+    """Fixed software overhead during which the GPUs sit idle.
+
+    Used for the raw cudaMalloc/cudaFree cost Quiver pays per batch
+    (§7.2): the calls synchronize the device and serialize in the
+    driver, so they stall the stage without occupying SMs.
+    """
+
+    seconds: float
+    label: str = "overhead"
+
+
+@dataclass(frozen=True)
+class AllReduce:
+    """NCCL ring allreduce of ``nbytes`` per GPU (gradient averaging)."""
+
+    nbytes: float
+    label: str = "allreduce"
+
+
+@dataclass(frozen=True)
+class ParallelGroup:
+    """Branches that run concurrently (they use disjoint links).
+
+    The loader overlaps its NVLink hot path with its PCIe cold path
+    (paper §3.2): duration is the max over branches, bytes are the sum.
+    Each branch is an ordered op list with barriers between its ops.
+    """
+
+    branches: tuple
+    label: str = "parallel"
+
+
+Op = "AllToAll | LocalKernel | UVAGather | HostWork | PCIeCopy | ParallelGroup"
+
+
+@dataclass
+class OpTrace:
+    """Ordered list of stage ops for one mini-batch task (with barriers
+    between consecutive ops, as CSP stages are synchronous)."""
+
+    ops: list = field(default_factory=list)
+
+    def add(self, op) -> None:
+        self.ops.append(op)
+
+    def extend(self, other: "OpTrace") -> None:
+        self.ops.extend(other.ops)
+
+    def __iter__(self):
+        return iter(self.ops)
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def flat_ops(self):
+        """All ops, with ParallelGroup branches flattened in."""
+        for op in self.ops:
+            if isinstance(op, ParallelGroup):
+                for branch in op.branches:
+                    yield from branch
+            else:
+                yield op
+
+    # ------------------------------------------------------------------
+    # byte accounting (Fig 1 uses these)
+    # ------------------------------------------------------------------
+    def nvlink_payload_bytes(self) -> float:
+        """Payload bytes sent over NVLink (excluding local/diagonal)."""
+        total = 0.0
+        for op in self.flat_ops():
+            if isinstance(op, AllToAll):
+                m = np.asarray(op.matrix, dtype=np.float64)
+                total += float(m.sum() - np.trace(m))
+        return total
+
+    def uva_payload_bytes(self) -> float:
+        return sum(
+            float(op.items.sum()) * op.item_bytes
+            for op in self.flat_ops()
+            if isinstance(op, UVAGather)
+        )
+
+    def uva_wire_bytes(self) -> float:
+        from repro.hw.comm import UVA_REQUEST_PAYLOAD, UVA_REQUEST_TOTAL
+
+        total = 0.0
+        for op in self.flat_ops():
+            if isinstance(op, UVAGather):
+                packets = int(np.ceil(op.item_bytes / UVA_REQUEST_PAYLOAD))
+                total += float(op.items.sum()) * packets * UVA_REQUEST_TOTAL
+        return total
+
+    def pcie_bulk_bytes(self) -> float:
+        return sum(
+            float(op.nbytes.sum()) for op in self.flat_ops()
+            if isinstance(op, PCIeCopy)
+        )

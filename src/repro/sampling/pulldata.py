@@ -1,0 +1,113 @@
+"""Pull-Data baseline: fetch adjacency lists instead of pushing tasks.
+
+The alternative CSP design the paper measures in Fig 11: the topology
+is partitioned exactly as for CSP, but when a GPU needs a remote
+frontier node it *pulls the whole adjacency list* (plus the weight list
+for biased sampling) over NVLink and samples locally.  Communication is
+``degree * 8`` bytes per remote node versus CSP's
+``(1 + fanout) * 8`` — a big loss whenever degree >> fanout (§4.1,
+"task push vs data pull").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sampling.csp import CSPConfig, CSPStats, CollectiveSampler, ID_BYTES
+from repro.sampling.frontier import Block, MiniBatchSample, next_frontier
+from repro.sampling.local import sample_neighbors
+from repro.sampling.ops import AllToAll, LocalKernel, OpTrace
+from repro.utils.errors import ConfigError
+
+
+class PullDataSampler(CollectiveSampler):
+    """Same partitioned layout as CSP, opposite movement of data."""
+
+    def sample(
+        self,
+        seeds_per_gpu: list[np.ndarray],
+        config: CSPConfig,
+    ) -> tuple[list[MiniBatchSample], OpTrace, CSPStats]:
+        """Sample one mini-batch, pulling remote adjacency lists."""
+        if len(seeds_per_gpu) != self.num_gpus:
+            raise ConfigError("need one seed array per GPU")
+        if config.scheme != "node":
+            raise ConfigError("PullData implements node-wise sampling")
+        k = self.num_gpus
+        trace = OpTrace()
+        seeds = [np.asarray(s, dtype=np.int64) for s in seeds_per_gpu]
+
+        frontiers = list(seeds)
+        blocks_per_gpu: list[list[Block]] = [[] for _ in range(k)]
+        tasks_total = sampled_total = local_tasks = 0
+        weight_factor = 2 if config.biased else 1  # weights ride along
+
+        for layer, fanout in enumerate(config.fanout):
+            request = np.zeros((k, k), dtype=np.float64)
+            response = np.zeros((k, k), dtype=np.float64)
+            work = np.zeros(k, dtype=np.float64)
+            for g in range(k):
+                frontier = frontiers[g]
+                owners = self.owner_of(frontier)
+                local_tasks += int(np.count_nonzero(owners == g))
+                tasks_total += len(frontier)
+                # pull traffic: id out, full adjacency (+weights) back
+                for o in range(k):
+                    if o == g:
+                        continue
+                    remote = frontier[owners == o]
+                    if len(remote) == 0:
+                        continue
+                    patch = self.patches[o]
+                    local = remote - patch.base
+                    deg = (patch.indptr[local + 1] - patch.indptr[local]).sum()
+                    request[g, o] += len(remote) * ID_BYTES
+                    response[o, g] += float(deg) * ID_BYTES * weight_factor
+
+                # functionally: sample per owner patch (the distribution is
+                # identical whether the list was pulled or already local)
+                src_parts, cnt_parts, order_parts = [], [], []
+                for o in np.unique(owners):
+                    mask = owners == o
+                    patch = self.patches[o]
+                    src_o, counts_o = sample_neighbors(
+                        patch,
+                        frontier[mask] - patch.base,
+                        fanout,
+                        rng=self.rngs[g],
+                        replace=config.replace,
+                        biased=config.biased,
+                    )
+                    src_parts.append(src_o)
+                    cnt_parts.append(counts_o)
+                    order_parts.append(np.flatnonzero(mask))
+                counts = np.zeros(len(frontier), dtype=np.int64)
+                if order_parts:
+                    for idx, cnt in zip(order_parts, cnt_parts):
+                        counts[idx] = cnt
+                # stitch sources back into original task order
+                src = np.empty(int(counts.sum()), dtype=np.int64)
+                offsets = np.concatenate([[0], np.cumsum(counts)])
+                for idx, cnt, src_o in zip(order_parts, cnt_parts, src_parts):
+                    pos = np.repeat(offsets[idx], cnt) + _concat_ranges(cnt)
+                    src[pos] = src_o
+                blocks_per_gpu[g].append(Block(frontier, src, offsets))
+                sampled_total += len(src)
+                work[g] = float(len(src))
+
+            trace.add(AllToAll(request, label=f"pull-req-L{layer}"))
+            trace.add(AllToAll(response, label=f"pull-resp-L{layer}"))
+            trace.add(LocalKernel("sample", work, label=f"sample-L{layer}"))
+            frontiers = [next_frontier(blocks_per_gpu[g][-1]) for g in range(k)]
+
+        samples = [
+            MiniBatchSample(seeds=seeds[g], blocks=tuple(blocks_per_gpu[g]))
+            for g in range(k)
+        ]
+        return samples, trace, CSPStats(tasks_total, sampled_total, local_tasks)
+
+
+def _concat_ranges(sizes: np.ndarray) -> np.ndarray:
+    from repro.sampling.local import _ranges
+
+    return _ranges(np.asarray(sizes, dtype=np.int64))

@@ -1,0 +1,203 @@
+"""Graph random walks as a special case of CSP (paper §4.2).
+
+A random walk is node-wise sampling with fan-out 1 at every layer: the
+walk's current node is shuffled to its owner GPU, the owner samples one
+neighbour, and the walk state (walk id + position, 16 bytes) moves on
+to the next node's owner — the reshuffle stage disappears because the
+task keeps travelling with the data.  Walks terminate early at
+dead-end nodes or, optionally, with a restart/stop probability checked
+in the shuffle stage.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sampling.csp import CollectiveSampler, ID_BYTES
+from repro.sampling.local import sample_neighbors
+from repro.sampling.ops import AllToAll, LocalKernel, OpTrace
+from repro.utils.errors import ConfigError
+from repro.utils.rng import make_rng
+
+
+def random_walk(
+    sampler: CollectiveSampler,
+    starts_per_gpu: list[np.ndarray],
+    length: int,
+    stop_prob: float = 0.0,
+    biased: bool = False,
+    seed: int = 0,
+) -> tuple[list[np.ndarray], OpTrace]:
+    """Walk ``length`` steps from each start node.
+
+    Returns one ``int64[num_walks, length + 1]`` matrix per GPU (column
+    0 is the start; -1 marks a terminated walk) and the op trace.  The
+    per-step all-to-all records walk-state movement between the owner
+    of the current node and the owner of the next node; a final
+    collection all-to-all returns finished paths to their origin GPU.
+    """
+    if length < 0:
+        raise ConfigError("length must be non-negative")
+    if not 0.0 <= stop_prob < 1.0:
+        raise ConfigError("stop_prob must be in [0, 1)")
+    k = sampler.num_gpus
+    if len(starts_per_gpu) != k:
+        raise ConfigError("need one start array per GPU")
+    rng = make_rng(seed)
+    trace = OpTrace()
+
+    paths = [
+        np.full((len(s), length + 1), -1, dtype=np.int64) for s in starts_per_gpu
+    ]
+    for g, starts in enumerate(starts_per_gpu):
+        paths[g][:, 0] = np.asarray(starts, dtype=np.int64)
+
+    # flat walk state: (origin gpu, walk row, current node)
+    origin = np.concatenate(
+        [np.full(len(s), g, dtype=np.int64) for g, s in enumerate(starts_per_gpu)]
+    )
+    row = np.concatenate(
+        [np.arange(len(s), dtype=np.int64) for s in starts_per_gpu]
+    )
+    current = np.concatenate(
+        [np.asarray(s, dtype=np.int64) for s in starts_per_gpu]
+    )
+    alive = np.ones(len(current), dtype=bool)
+
+    for step in range(1, length + 1):
+        if stop_prob > 0 and alive.any():
+            alive &= rng.random(len(alive)) >= stop_prob
+        idx = np.flatnonzero(alive)
+        if len(idx) == 0:
+            break
+        owners = sampler.owner_of(current[idx])
+        move = np.zeros((k, k), dtype=np.float64)
+        work = np.zeros(k, dtype=np.float64)
+        nxt = np.full(len(idx), -1, dtype=np.int64)
+        for o in np.unique(owners):
+            patch = sampler.patches[o]
+            mask = owners == o
+            local = current[idx[mask]] - patch.base
+            src, counts = sample_neighbors(
+                patch, local, 1, rng=sampler.rngs[o], biased=biased
+            )
+            work[o] = float(counts.sum())
+            stepped = np.full(int(mask.sum()), -1, dtype=np.int64)
+            stepped[counts > 0] = src
+            nxt[mask] = stepped
+            # walk state travels from this owner to the next node's owner
+            moved = stepped[stepped >= 0]
+            if len(moved):
+                dest = sampler.owner_of(moved)
+                for d, cnt in zip(*np.unique(dest, return_counts=True)):
+                    if d != o:
+                        move[o, d] += cnt * 2 * ID_BYTES
+        trace.add(LocalKernel("sample", work, label=f"walk-step{step}"))
+        trace.add(AllToAll(move, label=f"walk-move{step}"))
+
+        dead_end = nxt < 0
+        for g in range(k):
+            mask = (origin[idx] == g) & ~dead_end
+            paths[g][row[idx[mask]], step] = nxt[mask]
+        current[idx] = np.where(dead_end, current[idx], nxt)
+        alive[idx[dead_end]] = False
+
+    # collect finished paths to their origin GPU
+    collect = np.zeros((k, k), dtype=np.float64)
+    final_owner = sampler.owner_of(np.maximum(current, 0))
+    for g in range(k):
+        mine = origin == g
+        for o in range(k):
+            n = int(np.count_nonzero(mine & (final_owner == o)))
+            if n and o != g:
+                collect[o, g] += n * (length + 1) * ID_BYTES
+    trace.add(AllToAll(collect, label="walk-collect"))
+    return paths, trace
+
+
+def node2vec_walk(
+    sampler: CollectiveSampler,
+    starts_per_gpu: list[np.ndarray],
+    length: int,
+    p: float = 1.0,
+    q: float = 1.0,
+    seed: int = 0,
+) -> tuple[list[np.ndarray], OpTrace]:
+    """Second-order (node2vec) random walks over the partitioned graph.
+
+    The transition out of ``v`` with predecessor ``t`` weights each
+    neighbour ``u`` by ``1/p`` if ``u == t``, ``1`` if ``u`` is also a
+    neighbour of ``t``, and ``1/q`` otherwise [Grover & Leskovec 2016].
+    Evaluating the weights needs membership tests against the
+    *predecessor's* adjacency list, which lives on another GPU in
+    general; the trace charges one query message per candidate edge to
+    the predecessor's owner, on top of the walk-state movement.
+
+    Returns per-GPU path matrices like :func:`random_walk`.
+    """
+    if length < 0:
+        raise ConfigError("length must be non-negative")
+    if p <= 0 or q <= 0:
+        raise ConfigError("p and q must be positive")
+    k = sampler.num_gpus
+    if len(starts_per_gpu) != k:
+        raise ConfigError("need one start array per GPU")
+    rng = make_rng(seed)
+    trace = OpTrace()
+
+    def nbrs(v: int) -> np.ndarray:
+        o = int(sampler.owner_of(np.array([v]))[0])
+        patch = sampler.patches[o]
+        local = v - patch.base
+        return patch.indices[patch.indptr[local] : patch.indptr[local + 1]]
+
+    paths = [
+        np.full((len(s), length + 1), -1, dtype=np.int64) for s in starts_per_gpu
+    ]
+    origin, rows, current, prev = [], [], [], []
+    for g, starts in enumerate(starts_per_gpu):
+        for r, v in enumerate(np.asarray(starts, dtype=np.int64)):
+            paths[g][r, 0] = v
+            origin.append(g)
+            rows.append(r)
+            current.append(int(v))
+            prev.append(-1)
+
+    alive = [True] * len(current)
+    for step in range(1, length + 1):
+        move = np.zeros((k, k), dtype=np.float64)
+        query = np.zeros((k, k), dtype=np.float64)
+        work = np.zeros(k, dtype=np.float64)
+        for i in range(len(current)):
+            if not alive[i]:
+                continue
+            v, t = current[i], prev[i]
+            o = int(sampler.owner_of(np.array([v]))[0])
+            cand = nbrs(v)
+            if len(cand) == 0:
+                alive[i] = False
+                continue
+            if t < 0:
+                w = np.ones(len(cand))
+            else:
+                t_nbrs = nbrs(t)
+                w = np.full(len(cand), 1.0 / q)
+                w[np.isin(cand, t_nbrs)] = 1.0
+                w[cand == t] = 1.0 / p
+                t_owner = int(sampler.owner_of(np.array([t]))[0])
+                if t_owner != o:
+                    query[o, t_owner] += len(cand) * ID_BYTES
+                    query[t_owner, o] += len(cand)  # 1-byte answers
+            u = int(rng.choice(cand, p=w / w.sum()))
+            work[o] += 1
+            d = int(sampler.owner_of(np.array([u]))[0])
+            if d != o:
+                move[o, d] += 3 * ID_BYTES  # (walk id, current, prev)
+            paths[origin[i]][rows[i], step] = u
+            prev[i], current[i] = v, u
+        trace.add(LocalKernel("sample", work, label=f"n2v-step{step}"))
+        trace.add(AllToAll(query, label=f"n2v-query{step}"))
+        trace.add(AllToAll(move, label=f"n2v-move{step}"))
+        if not any(alive):
+            break
+    return paths, trace

@@ -1,0 +1,215 @@
+"""Temporal graph sampling.
+
+The paper names temporal sampling (with biased sampling) as a case
+where a pull-based design *must* transfer whole adjacency lists, while
+CSP keeps the constraint evaluation local (§7.3, Fig 11 discussion):
+given per-edge timestamps, a frontier node ``v`` observed at time
+``t_v`` may only sample neighbours over edges with ``timestamp < t_v``.
+
+:func:`temporal_sample_neighbors` is the fused local kernel —
+vectorized masking of each task's adjacency segment by its cut-off,
+then uniform (or recency-biased) sampling among the survivors.
+:class:`TemporalCollectiveSampler` runs it inside the CSP
+shuffle/sample/reshuffle stages; the shuffle additionally carries each
+frontier node's 8-byte cut-off time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sampling.csp import CSPStats, CollectiveSampler, ID_BYTES
+from repro.sampling.frontier import Block, MiniBatchSample
+from repro.sampling.local import GraphPatch, _ranges
+from repro.sampling.ops import AllToAll, LocalKernel, OpTrace
+from repro.utils.errors import ConfigError, ReproError
+from repro.utils.rng import make_rng
+
+
+def temporal_sample_neighbors(
+    patch: GraphPatch,
+    timestamps: np.ndarray,
+    local_ids: np.ndarray,
+    cutoffs: np.ndarray,
+    fanout: int,
+    rng: np.random.Generator | int | None = None,
+    recency_bias: bool = False,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Sample up to ``fanout`` neighbours over edges older than each
+    task's cut-off.
+
+    ``timestamps`` has one entry per patch edge.  Returns
+    ``(src, src_times, counts)`` — the sampled neighbour ids, the
+    timestamps of the traversed edges (they become the cut-offs of the
+    next layer), and per-task counts.  ``recency_bias`` weights
+    eligible edges by how close they are to the cut-off.
+    """
+    rng = make_rng(rng)
+    local_ids = np.asarray(local_ids, dtype=np.int64)
+    cutoffs = np.asarray(cutoffs, dtype=np.float64)
+    timestamps = np.asarray(timestamps, dtype=np.float64)
+    if timestamps.shape != (patch.num_edges,):
+        raise ReproError("need one timestamp per patch edge")
+    if cutoffs.shape != local_ids.shape:
+        raise ReproError("need one cut-off per task")
+    if fanout < 0:
+        raise ReproError("fanout must be non-negative")
+    T = len(local_ids)
+    if T == 0:
+        z = np.empty(0, dtype=np.int64)
+        return z, np.empty(0, dtype=np.float64), z.copy()
+    if local_ids.min() < 0 or local_ids.max() >= patch.num_local:
+        raise ReproError("local id out of range for patch")
+
+    starts = patch.indptr[local_ids]
+    deg = patch.indptr[local_ids + 1] - starts
+    seg = np.repeat(np.arange(T, dtype=np.int64), deg)
+    pos = np.repeat(starts, deg) + _ranges(deg)
+    eligible = timestamps[pos] < np.repeat(cutoffs, deg)
+
+    # without-replacement selection among eligible edges via random keys
+    keys = np.full(len(pos), np.inf)
+    n_el = int(eligible.sum())
+    if n_el:
+        if recency_bias:
+            age = np.repeat(cutoffs, deg)[eligible] - timestamps[pos[eligible]]
+            w = 1.0 / (1.0 + age)
+            keys[eligible] = rng.exponential(size=n_el) / w
+        else:
+            keys[eligible] = rng.random(n_el)
+    order = np.lexsort((keys, seg))
+    rank = _ranges(deg)
+    eligible_count = (
+        np.bincount(seg[eligible], minlength=T)
+        if len(seg)
+        else np.zeros(T, dtype=np.int64)
+    )
+    counts = np.minimum(fanout, eligible_count)
+    take = order[rank < np.repeat(counts, deg)]
+    take.sort()
+    src = patch.indices[pos[take]]
+    src_times = timestamps[pos[take]]
+    return src, src_times, counts
+
+
+class TemporalCollectiveSampler(CollectiveSampler):
+    """CSP over a timestamped graph.
+
+    Construction takes per-edge timestamps aligned with the renumbered
+    whole-graph CSR; they are sliced per patch like the adjacency data.
+    """
+
+    def __init__(
+        self,
+        patches: list[GraphPatch],
+        part_offsets: np.ndarray,
+        edge_times: list[np.ndarray],
+        seed: int = 0,
+        recency_bias: bool = False,
+    ):
+        super().__init__(patches, part_offsets, seed=seed)
+        if len(edge_times) != len(patches):
+            raise ConfigError("need one timestamp array per patch")
+        for patch, t in zip(patches, edge_times):
+            if len(t) != patch.num_edges:
+                raise ConfigError("timestamp array does not match patch")
+        self.edge_times = [np.asarray(t, dtype=np.float64) for t in edge_times]
+        self.recency_bias = recency_bias
+
+    @classmethod
+    def from_partitioned_times(
+        cls, graph, part_offsets, timestamps, seed=0, recency_bias=False
+    ) -> "TemporalCollectiveSampler":
+        part_offsets = np.asarray(part_offsets, dtype=np.int64)
+        timestamps = np.asarray(timestamps, dtype=np.float64)
+        patches, times = [], []
+        for g in range(len(part_offsets) - 1):
+            lo, hi = int(part_offsets[g]), int(part_offsets[g + 1])
+            patches.append(GraphPatch.from_graph(graph, lo, hi))
+            times.append(timestamps[graph.indptr[lo] : graph.indptr[hi]])
+        return cls(patches, part_offsets, times, seed=seed,
+                   recency_bias=recency_bias)
+
+    def sample_temporal(
+        self,
+        seeds_per_gpu: list[np.ndarray],
+        seed_times_per_gpu: list[np.ndarray],
+        fanout: tuple[int, ...],
+    ) -> tuple[list[MiniBatchSample], OpTrace, CSPStats]:
+        """Temporal node-wise CSP: each hop respects the running cut-off."""
+        if len(seeds_per_gpu) != self.num_gpus:
+            raise ConfigError("need one seed array per GPU")
+        k = self.num_gpus
+        trace = OpTrace()
+        seeds = [np.asarray(s, dtype=np.int64) for s in seeds_per_gpu]
+        cutoffs = [np.asarray(t, dtype=np.float64) for t in seed_times_per_gpu]
+        for s, c in zip(seeds, cutoffs):
+            if s.shape != c.shape:
+                raise ConfigError("need one timestamp per seed")
+
+        blocks_per_gpu: list[list[Block]] = [[] for _ in range(k)]
+        tasks_total = sampled_total = local_tasks = 0
+        frontiers = seeds
+        for layer, f in enumerate(fanout):
+            shuffle = np.zeros((k, k))
+            reshuffle = np.zeros((k, k))
+            work = np.zeros(k)
+            new_frontiers, new_cutoffs = [], []
+            for g in range(k):
+                frontier, cut = frontiers[g], cutoffs[g]
+                owners = self.owner_of(frontier)
+                tasks_total += len(frontier)
+                local_tasks += int((owners == g).sum())
+                counts = np.zeros(len(frontier), dtype=np.int64)
+                src_parts, time_parts, idx_parts = [], [], []
+                for o in np.unique(owners):
+                    mask = owners == o
+                    patch = self.patches[o]
+                    src_o, t_o, c_o = temporal_sample_neighbors(
+                        patch,
+                        self.edge_times[o],
+                        frontier[mask] - patch.base,
+                        cut[mask],
+                        f,
+                        rng=self.rngs[o],
+                        recency_bias=self.recency_bias,
+                    )
+                    counts[mask] = c_o
+                    src_parts.append(src_o)
+                    time_parts.append(t_o)
+                    idx_parts.append(np.flatnonzero(mask))
+                    work[o] += len(src_o)
+                    if o != g:
+                        # id + cut-off out; sampled ids + edge times back
+                        shuffle[g, o] += mask.sum() * 2 * ID_BYTES
+                        reshuffle[o, g] += len(src_o) * 2 * ID_BYTES
+                # stitch back into task order
+                src = np.empty(int(counts.sum()), dtype=np.int64)
+                stime = np.empty(len(src), dtype=np.float64)
+                offsets = np.concatenate([[0], np.cumsum(counts)])
+                for idx, s_o, t_o in zip(idx_parts, src_parts, time_parts):
+                    c = counts[idx]
+                    where = np.repeat(offsets[idx], c) + _ranges(c)
+                    src[where] = s_o
+                    stime[where] = t_o
+                block = Block(frontier, src, offsets)
+                blocks_per_gpu[g].append(block)
+                sampled_total += len(src)
+                # next frontier: sampled nodes with the traversed edge's
+                # timestamp as their cut-off (plus the current frontier,
+                # keeping its cut-offs, so self-information flows)
+                nf = np.concatenate([frontier, src])
+                nc = np.concatenate([cut, stime])
+                uniq, first = np.unique(nf, return_index=True)
+                new_frontiers.append(uniq)
+                new_cutoffs.append(nc[first])
+            trace.add(AllToAll(shuffle, label=f"t-shuffle-L{layer}"))
+            trace.add(LocalKernel("sample", work, label=f"t-sample-L{layer}"))
+            trace.add(AllToAll(reshuffle, label=f"t-reshuffle-L{layer}"))
+            frontiers, cutoffs = new_frontiers, new_cutoffs
+
+        samples = [
+            MiniBatchSample(seeds=seeds[g], blocks=tuple(blocks_per_gpu[g]))
+            for g in range(k)
+        ]
+        return samples, trace, CSPStats(tasks_total, sampled_total, local_tasks)

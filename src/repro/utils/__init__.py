@@ -1,0 +1,27 @@
+"""Shared utilities: units, errors, RNG handling, validation helpers."""
+
+from repro.utils.errors import (
+    ReproError,
+    ConfigError,
+    CapacityError,
+    DeadlockError,
+    PartitionError,
+)
+from repro.utils.units import KB, MB, GB, Bytes, fmt_bytes, fmt_time
+from repro.utils.rng import make_rng, spawn_rngs
+
+__all__ = [
+    "ReproError",
+    "ConfigError",
+    "CapacityError",
+    "DeadlockError",
+    "PartitionError",
+    "KB",
+    "MB",
+    "GB",
+    "Bytes",
+    "fmt_bytes",
+    "fmt_time",
+    "make_rng",
+    "spawn_rngs",
+]

@@ -1,0 +1,35 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so
+callers can catch library failures without catching programming errors.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigError(ReproError):
+    """An invalid or inconsistent configuration was supplied."""
+
+
+class CapacityError(ReproError):
+    """A resource (GPU memory, queue slot, cache budget) was exceeded."""
+
+
+class DeadlockError(ReproError):
+    """The execution engine detected a communication deadlock.
+
+    Raised when concurrently launched collective kernels block each
+    other permanently (paper §5, Figure 8).  Enabling centralized
+    communication coordination (CCC) prevents this.
+    """
+
+    def __init__(self, message: str, waiting: dict | None = None):
+        super().__init__(message)
+        #: map of gpu id -> collective tag it is blocked on (diagnostics)
+        self.waiting = dict(waiting or {})
+
+
+class PartitionError(ReproError):
+    """Graph partitioning failed or produced an invalid partition."""

@@ -1,0 +1,31 @@
+"""Deterministic random-number-generator plumbing.
+
+All stochastic components (graph generators, samplers, model init,
+mini-batch shuffling) take an explicit :class:`numpy.random.Generator`.
+These helpers create and fan out generators reproducibly so that a run
+is fully determined by one integer seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+RngLike = "int | np.random.Generator | None"
+
+
+def make_rng(seed: int | np.random.Generator | None = None) -> np.random.Generator:
+    """Return a Generator: pass through an existing one, else seed a new one."""
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(rng: np.random.Generator, n: int) -> list[np.random.Generator]:
+    """Derive ``n`` statistically independent child generators from ``rng``.
+
+    Used to give each simulated GPU its own stream so per-GPU sampling
+    results do not depend on GPU execution order.
+    """
+    if n < 0:
+        raise ValueError(f"cannot spawn {n} generators")
+    return [np.random.default_rng(s) for s in rng.bit_generator.seed_seq.spawn(n)]

@@ -1,0 +1,39 @@
+"""Byte and time units plus human-readable formatting.
+
+The hardware model works in bytes and seconds throughout; these helpers
+keep magic numbers out of the cost-model code.
+"""
+
+from __future__ import annotations
+
+Bytes = int
+
+KB: Bytes = 1024
+MB: Bytes = 1024 * KB
+GB: Bytes = 1024 * MB
+
+US = 1e-6
+MS = 1e-3
+
+
+def fmt_bytes(n: float) -> str:
+    """Format a byte count with a binary suffix, e.g. ``fmt_bytes(2048) == '2.00 KiB'``."""
+    n = float(n)
+    for unit in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if abs(n) < 1024.0 or unit == "TiB":
+            return f"{n:.2f} {unit}"
+        n /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def fmt_time(seconds: float) -> str:
+    """Format a duration, picking the largest unit that keeps >= 1 digit."""
+    if seconds < 0:
+        return "-" + fmt_time(-seconds)
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.2f} us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.2f} ms"
+    if seconds < 120.0:
+        return f"{seconds:.2f} s"
+    return f"{seconds / 60.0:.2f} min"

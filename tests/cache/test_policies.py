@@ -1,0 +1,77 @@
+"""Tests for hot-node ranking policies."""
+
+import numpy as np
+import pytest
+
+from repro.cache import (
+    HOT_POLICIES,
+    rank_by_degree,
+    rank_by_pagerank,
+    rank_by_reverse_pagerank,
+    rank_random,
+)
+from repro.cache.policies import get_policy
+from repro.graph import CSRGraph, dcsbm_graph
+from repro.utils import ConfigError
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return dcsbm_graph(1000, 20_000, rng=4)
+
+
+class TestDegree:
+    def test_sorted_descending(self, graph):
+        order = rank_by_degree(graph)
+        deg = graph.degrees[order]
+        assert (np.diff(deg) <= 0).all()
+
+    def test_is_permutation(self, graph):
+        order = rank_by_degree(graph)
+        assert np.array_equal(np.sort(order), np.arange(graph.num_nodes))
+
+
+class TestPageRank:
+    def test_star_graph_center_wins(self):
+        """All edges point at node 0: it has the top PageRank."""
+        src = np.arange(1, 20)
+        dst = np.zeros(19, dtype=np.int64)
+        g = CSRGraph.from_edges(src, dst, num_nodes=20)
+        assert rank_by_pagerank(g)[0] == 0
+
+    def test_reverse_pagerank_favors_sources(self):
+        """Node 0 points at everyone: reverse PageRank ranks it first."""
+        dst = np.arange(1, 20)
+        src = np.zeros(19, dtype=np.int64)
+        g = CSRGraph.from_edges(src, dst, num_nodes=20)
+        assert rank_by_reverse_pagerank(g)[0] == 0
+        assert rank_by_pagerank(g)[0] != 0
+
+    def test_correlates_with_degree_on_powerlaw(self, graph):
+        """On a power-law graph, PageRank's top set overlaps degree's."""
+        top_pr = set(rank_by_pagerank(graph)[:100].tolist())
+        top_deg = set(rank_by_degree(graph)[:100].tolist())
+        assert len(top_pr & top_deg) > 30
+
+    def test_is_permutation(self, graph):
+        order = rank_by_pagerank(graph, iters=5)
+        assert np.array_equal(np.sort(order), np.arange(graph.num_nodes))
+
+
+class TestRandomAndRegistry:
+    def test_random_is_permutation(self, graph):
+        order = rank_random(graph, seed=1)
+        assert np.array_equal(np.sort(order), np.arange(graph.num_nodes))
+
+    def test_random_deterministic(self, graph):
+        assert np.array_equal(rank_random(graph, seed=2), rank_random(graph, seed=2))
+
+    def test_registry(self):
+        assert set(HOT_POLICIES) == {
+            "degree", "pagerank", "reverse_pagerank", "random", "profile"
+        }
+        assert get_policy("degree") is rank_by_degree
+
+    def test_unknown_policy(self):
+        with pytest.raises(ConfigError):
+            get_policy("magic")

@@ -1,0 +1,58 @@
+"""Tests for the profile-guided cache policy."""
+
+import numpy as np
+import pytest
+
+from repro.cache.policies import HOT_POLICIES, rank_by_degree, rank_by_profile
+from repro.graph import dcsbm_graph
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return dcsbm_graph(1500, 30_000, rng=8)
+
+
+class TestProfilePolicy:
+    def test_is_permutation(self, graph):
+        order = rank_by_profile(graph, num_batches=3, batch_size=128, seed=0)
+        assert np.array_equal(np.sort(order), np.arange(graph.num_nodes))
+
+    def test_registered(self):
+        assert "profile" in HOT_POLICIES
+
+    def test_deterministic(self, graph):
+        a = rank_by_profile(graph, num_batches=2, batch_size=64, seed=3)
+        b = rank_by_profile(graph, num_batches=2, batch_size=64, seed=3)
+        assert np.array_equal(a, b)
+
+    def test_tracks_access_distribution(self, graph):
+        """The profiled top set overlaps the degree top set strongly on
+        a power-law graph (accesses follow degree)."""
+        prof = set(rank_by_profile(graph, num_batches=6, seed=1)[:150].tolist())
+        deg = set(rank_by_degree(graph)[:150].tolist())
+        assert len(prof & deg) > 60
+
+    def test_profiled_cache_hits_well(self, graph):
+        """A profile-built cache must hit at least as well as random."""
+        from repro.cache.store import ReplicatedCache, Placement
+        from repro.sampling.local import GraphPatch, sample_neighbors
+
+        patch = GraphPatch.full(graph)
+        rng = np.random.default_rng(9)
+
+        def hit_rate(order):
+            store = ReplicatedCache(graph.num_nodes, 1, order,
+                                    budget_nodes=150)
+            hits = total = 0
+            for _ in range(5):
+                frontier = rng.integers(0, graph.num_nodes, size=128)
+                src, _ = sample_neighbors(patch, frontier, 10, rng=rng)
+                req = np.unique(src)
+                loc = store.locate(req, 0)
+                hits += loc.count(Placement.LOCAL)
+                total += len(req)
+            return hits / total
+
+        prof = hit_rate(rank_by_profile(graph, num_batches=6, seed=2))
+        rand = hit_rate(np.random.default_rng(0).permutation(graph.num_nodes))
+        assert prof > 1.5 * rand

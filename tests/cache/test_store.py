@@ -1,0 +1,95 @@
+"""Tests for the cache stores."""
+
+import numpy as np
+import pytest
+
+from repro.cache import NoCache, PartitionedCache, ReplicatedCache
+from repro.cache.store import Placement
+from repro.utils import ConfigError
+
+
+@pytest.fixture
+def setting():
+    """12 nodes over 3 GPUs; hotness = ascending node id (0 hottest)."""
+    part_offsets = np.array([0, 4, 8, 12])
+    hot_order = np.arange(12)
+    return part_offsets, hot_order
+
+
+class TestPartitionedCache:
+    def test_each_gpu_caches_its_own_hottest(self, setting):
+        part_offsets, hot_order = setting
+        c = PartitionedCache(part_offsets, hot_order, budget_nodes=2)
+        assert c.cached_nodes(0).tolist() == [0, 1]
+        assert c.cached_nodes(1).tolist() == [4, 5]
+        assert c.cached_nodes(2).tolist() == [8, 9]
+        assert c.total_cached == 6
+
+    def test_aggregate_grows_with_gpus(self, setting):
+        """The DSP claim: partitioned caching scales the aggregate."""
+        part_offsets, hot_order = setting
+        part = PartitionedCache(part_offsets, hot_order, budget_nodes=2)
+        repl = ReplicatedCache(12, 3, hot_order, budget_nodes=2)
+        assert part.total_cached == 3 * repl.total_cached
+
+    def test_locate_classification(self, setting):
+        part_offsets, hot_order = setting
+        c = PartitionedCache(part_offsets, hot_order, budget_nodes=2)
+        loc = c.locate(np.array([0, 4, 11]), gpu=0)
+        assert loc.placement.tolist() == [
+            Placement.LOCAL, Placement.REMOTE, Placement.COLD
+        ]
+        assert loc.holder.tolist() == [0, 1, -1]
+
+    def test_zero_budget_all_cold(self, setting):
+        part_offsets, hot_order = setting
+        c = PartitionedCache(part_offsets, hot_order, budget_nodes=0)
+        loc = c.locate(np.arange(12), gpu=1)
+        assert loc.count(Placement.COLD) == 12
+
+    def test_budget_above_part_size(self, setting):
+        part_offsets, hot_order = setting
+        c = PartitionedCache(part_offsets, hot_order, budget_nodes=100)
+        assert c.total_cached == 12
+
+    def test_cache_nbytes(self, setting):
+        part_offsets, hot_order = setting
+        c = PartitionedCache(part_offsets, hot_order, budget_nodes=2)
+        assert c.cache_nbytes(0, feature_dim=10) == 2 * 10 * 4
+
+    def test_invalid_args(self, setting):
+        part_offsets, hot_order = setting
+        with pytest.raises(ConfigError):
+            PartitionedCache(part_offsets, hot_order, budget_nodes=-1)
+        with pytest.raises(ConfigError):
+            PartitionedCache(part_offsets, hot_order[:5], budget_nodes=1)
+
+
+class TestReplicatedCache:
+    def test_hits_always_local(self, setting):
+        _, hot_order = setting
+        c = ReplicatedCache(12, 3, hot_order, budget_nodes=4)
+        for gpu in range(3):
+            loc = c.locate(np.array([0, 3, 5]), gpu=gpu)
+            assert loc.placement.tolist() == [
+                Placement.LOCAL, Placement.LOCAL, Placement.COLD
+            ]
+
+    def test_same_set_every_gpu(self, setting):
+        _, hot_order = setting
+        c = ReplicatedCache(12, 3, hot_order, budget_nodes=4)
+        assert np.array_equal(c.cached_nodes(0), c.cached_nodes(2))
+
+    def test_global_hottest_selected(self, setting):
+        _, hot_order = setting
+        c = ReplicatedCache(12, 3, hot_order, budget_nodes=3)
+        assert c.cached_nodes(0).tolist() == [0, 1, 2]
+
+
+class TestNoCache:
+    def test_everything_cold(self):
+        c = NoCache(num_nodes=10, num_gpus=2)
+        loc = c.locate(np.arange(10), gpu=0)
+        assert loc.count(Placement.COLD) == 10
+        assert len(c.cached_nodes(0)) == 0
+        assert c.cache_nbytes(0, 64) == 0

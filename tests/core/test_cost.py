@@ -1,0 +1,121 @@
+"""Tests for the cost engine."""
+
+import numpy as np
+import pytest
+
+from repro.core.cost import COMM_KERNEL_THREADS, CostEngine
+from repro.hw import Cluster
+from repro.sampling.ops import (
+    AllReduce,
+    AllToAll,
+    HostWork,
+    LocalKernel,
+    OpTrace,
+    Overhead,
+    ParallelGroup,
+    PCIeCopy,
+    UVAGather,
+)
+from repro.utils import ConfigError, MB
+
+
+@pytest.fixture
+def engine():
+    return CostEngine(Cluster.dgx1(4))
+
+
+class TestOpCosts:
+    def test_alltoall_is_collective(self, engine):
+        m = np.full((4, 4), float(MB))
+        np.fill_diagonal(m, 0)
+        c = engine.op_cost(AllToAll(m))
+        assert c.collective
+        assert c.stage > 0
+        assert c.nvlink_bytes > 0
+        assert (c.per_gpu == c.stage).all()
+
+    def test_single_gpu_alltoall_not_collective(self):
+        eng = CostEngine(Cluster.dgx1(1))
+        c = eng.op_cost(AllToAll(np.zeros((1, 1))))
+        assert not c.collective
+
+    def test_allreduce(self, engine):
+        c = engine.op_cost(AllReduce(nbytes=4 * MB))
+        assert c.collective and c.stage > 0
+
+    def test_kernel_kinds(self, engine):
+        for kind, work in [("sample", 1e5), ("gather", 1e7), ("compute", 1e9)]:
+            c = engine.op_cost(LocalKernel(kind, np.full(4, work)))
+            assert not c.collective
+            assert c.stage == pytest.approx(c.per_gpu.max())
+            assert c.stage > 0
+
+    def test_unknown_kernel_kind(self, engine):
+        with pytest.raises(ConfigError):
+            engine.op_cost(LocalKernel("magic", np.ones(4)))
+
+    def test_kernel_stage_is_max(self, engine):
+        work = np.array([1e5, 1e6, 1e5, 1e5])
+        c = engine.op_cost(LocalKernel("sample", work))
+        assert c.stage == pytest.approx(c.per_gpu[1])
+        assert c.per_gpu[0] < c.per_gpu[1]
+
+    def test_uva_gather(self, engine):
+        c = engine.op_cost(UVAGather(np.full(4, 1000.0), item_bytes=512))
+        assert c.pcie_bytes > c.uva_payload  # amplified
+        assert not c.collective
+
+    def test_host_work_idles_gpus(self, engine):
+        c = engine.op_cost(HostWork(np.full(4, 1e6), kind="sample"))
+        assert c.host
+        assert (c.per_gpu == 0).all()
+        assert c.stage > 0
+
+    def test_host_gather_kind(self, engine):
+        c = engine.op_cost(HostWork(np.full(4, 1e8), kind="gather"))
+        assert c.stage > 0
+
+    def test_pcie_copy_contention(self):
+        # GPUs 0,1 share a switch: copying on both takes longer per GPU
+        eng = CostEngine(Cluster.dgx1(2))
+        both = eng.op_cost(PCIeCopy(np.full(2, 64.0 * MB)))
+        solo = CostEngine(Cluster.dgx1(1)).op_cost(PCIeCopy(np.array([64.0 * MB])))
+        assert both.stage > 1.5 * solo.stage
+
+    def test_overhead(self, engine):
+        c = engine.op_cost(Overhead(0.01))
+        assert c.host and c.stage == pytest.approx(0.01)
+
+    def test_parallel_group_max_semantics(self, engine):
+        slow = UVAGather(np.full(4, 1e6), item_bytes=512)
+        fast = LocalKernel("gather", np.full(4, 1e3))
+        group = ParallelGroup(branches=((slow,), (fast,)))
+        c = engine.op_cost(group)
+        assert c.stage == pytest.approx(engine.op_cost(slow).stage)
+        assert c.pcie_bytes == pytest.approx(engine.op_cost(slow).pcie_bytes)
+
+    def test_unknown_op(self, engine):
+        with pytest.raises(ConfigError):
+            engine.op_cost(object())
+
+
+class TestTraceHelpers:
+    def test_stage_time_sums(self, engine):
+        trace = OpTrace()
+        trace.add(LocalKernel("sample", np.full(4, 1e5)))
+        trace.add(Overhead(0.005))
+        t = engine.stage_time(trace)
+        k = engine.op_cost(LocalKernel("sample", np.full(4, 1e5))).stage
+        assert t == pytest.approx(k + 0.005)
+
+    def test_launch_scale_shrinks_constants(self):
+        cluster = Cluster.dgx1(4)
+        full = CostEngine(cluster, launch_scale=1.0)
+        tiny = CostEngine(cluster, launch_scale=0.01)
+        op = AllToAll(np.zeros((4, 4)))
+        assert tiny.op_cost(op).stage < full.op_cost(op).stage
+
+    def test_occupancy_of(self, engine):
+        costs = [engine.op_cost(LocalKernel("compute", np.full(4, 1e11)))]
+        occ = engine.occupancy_of(costs, wall=costs[0].stage)
+        assert 0.5 < occ <= 1.01  # a big GEMM fills the whole GPU

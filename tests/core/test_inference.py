@@ -1,0 +1,77 @@
+"""Tests for distributed full-graph inference."""
+
+import numpy as np
+import pytest
+
+from repro.core import RunConfig, build_system
+from repro.core.inference import full_graph_inference
+from repro.nn import accuracy
+from repro.sampling.ops import AllToAll, LocalKernel
+from repro.utils import ConfigError
+
+
+CFG = RunConfig(dataset="tiny", num_gpus=4, hidden_dim=16, batch_size=16,
+                fanout=(5, 3), lr=1e-2, seed=6)
+
+
+@pytest.fixture(scope="module")
+def trained():
+    system = build_system("DSP", CFG)
+    for _ in range(6):
+        system.run_epoch()
+    return system
+
+
+class TestInference:
+    def test_shapes_and_trace(self, trained):
+        preds, trace = full_graph_inference(trained)
+        assert preds.shape == (trained.data.num_nodes,
+                               trained.data.num_classes)
+        labels = [op.label for op in trace]
+        # 2 layers x (boundary, gather, gemm)
+        assert len([l for l in labels if "boundary" in l]) == 2
+        assert len([l for l in labels if "gemm" in l]) == 2
+
+    def test_full_graph_beats_sampled_eval(self, trained):
+        """Inference over the full neighbourhood should be at least as
+        accurate as the sampled estimate on the test set."""
+        preds, _ = full_graph_inference(trained)
+        test = trained.data.test_nodes
+        full_acc = accuracy(preds[test], trained.data.labels[test])
+        assert full_acc > 1.5 / trained.data.num_classes
+
+    def test_chunking_is_exact(self, trained):
+        a, _ = full_graph_inference(trained, chunk_size=64)
+        b, _ = full_graph_inference(trained, chunk_size=100_000)
+        np.testing.assert_allclose(a, b, rtol=1e-4, atol=1e-5)
+
+    def test_boundary_volume_reflects_partition(self, trained):
+        """Boundary exchange is bounded by edge-cut * embedding bytes."""
+        _, trace = full_graph_inference(trained)
+        first = next(op for op in trace if isinstance(op, AllToAll))
+        from repro.graph import edge_cut
+        from repro.graph.partition import Partition
+
+        owner = trained.sampler.owner_of(
+            np.arange(trained.data.num_nodes)
+        )
+        cut = edge_cut(trained.data.graph, Partition(owner, trained.k))
+        assert first.matrix.sum() <= cut * trained.data.feature_dim * 4
+
+    def test_inference_cost_positive(self, trained):
+        _, trace = full_graph_inference(trained)
+        t = trained.engine.stage_time(trace)
+        assert t > 0
+
+    def test_works_for_baselines_too(self):
+        system = build_system("DGL-UVA", CFG)
+        system.run_epoch()
+        preds, trace = full_graph_inference(system)
+        assert preds.shape[0] == system.data.num_nodes
+        # single store: no boundary traffic
+        first = next(op for op in trace if isinstance(op, AllToAll))
+        assert first.matrix.sum() == 0
+
+    def test_bad_chunk_size(self, trained):
+        with pytest.raises(ConfigError):
+            full_graph_inference(trained, chunk_size=0)

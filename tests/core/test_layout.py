@@ -1,0 +1,101 @@
+"""Tests for the DSP data-layout planner."""
+
+import numpy as np
+import pytest
+
+from repro.cache.policies import rank_by_degree
+from repro.core.layout import WORKSPACE_FRACTION, plan_layout
+from repro.graph import load_dataset, metis_partition, renumber_by_partition
+from repro.hw import Cluster
+from repro.utils import CapacityError, ConfigError
+
+
+@pytest.fixture(scope="module")
+def setting():
+    ds = load_dataset("tiny")
+    part = metis_partition(ds.graph, 4, rng=0)
+    rgraph, _, nb = renumber_by_partition(ds.graph, part)
+    pds = ds.permuted(nb.old_to_new, rgraph)
+    hot = rank_by_degree(rgraph)
+    return pds, rgraph, nb, hot
+
+
+class TestPlanner:
+    def test_everything_fits_on_big_gpus(self, setting):
+        pds, rgraph, nb, hot = setting
+        cluster = Cluster.dgx1(4)  # 16 GB per GPU, tiny dataset
+        layout = plan_layout(pds, nb.part_offsets, cluster, hot, graph=rgraph)
+        assert layout.topology_coverage == pytest.approx(1.0)
+        # all features cached in aggregate
+        assert layout.store.total_cached == pds.num_nodes
+
+    def test_memory_reservations_tracked(self, setting):
+        pds, rgraph, nb, hot = setting
+        cluster = Cluster.dgx1(4)
+        layout = plan_layout(pds, nb.part_offsets, cluster, hot, graph=rgraph)
+        for mem in layout.memory:
+            assert set(mem.reservations) == {"workspace", "topology",
+                                             "feature-cache"}
+            assert mem.used <= mem.capacity
+
+    def test_tight_topology_budget_spills_cold_nodes(self, setting):
+        pds, rgraph, nb, hot = setting
+        cluster = Cluster.dgx1(4)
+        layout = plan_layout(
+            pds, nb.part_offsets, cluster, hot, graph=rgraph,
+            topology_cache_bytes=rgraph.topology_nbytes / 16,
+        )
+        assert 0.0 < layout.topology_coverage < 1.0
+        assert layout.topo_cold_global().any()
+
+    def test_hot_adjacency_resident_first(self, setting):
+        """Cold topology nodes must be colder than resident ones."""
+        pds, rgraph, nb, hot = setting
+        cluster = Cluster.dgx1(4)
+        layout = plan_layout(
+            pds, nb.part_offsets, cluster, hot, graph=rgraph,
+            topology_cache_bytes=rgraph.topology_nbytes / 8,
+        )
+        rank = np.empty(rgraph.num_nodes, dtype=np.int64)
+        rank[hot] = np.arange(rgraph.num_nodes)
+        for g, mask in enumerate(layout.topo_cold):
+            lo = layout.part_offsets[g]
+            cold_ranks = rank[lo:lo + len(mask)][mask]
+            hot_ranks = rank[lo:lo + len(mask)][~mask]
+            if len(cold_ranks) and len(hot_ranks):
+                assert hot_ranks.max() < cold_ranks.max() + len(mask)
+                assert np.median(hot_ranks) < np.median(cold_ranks)
+
+    def test_feature_budget_respected(self, setting):
+        pds, rgraph, nb, hot = setting
+        cluster = Cluster.dgx1(4)
+        budget = 100 * pds.feature_dim * 4  # exactly 100 rows
+        layout = plan_layout(
+            pds, nb.part_offsets, cluster, hot, graph=rgraph,
+            feature_cache_bytes=budget,
+        )
+        for g in range(4):
+            assert len(layout.store.cached_nodes(g)) <= 100
+
+    def test_feature_budget_over_memory_rejected(self, setting):
+        pds, rgraph, nb, hot = setting
+        cluster = Cluster.dgx1(4)
+        with pytest.raises(CapacityError):
+            plan_layout(
+                pds, nb.part_offsets, cluster, hot, graph=rgraph,
+                feature_cache_bytes=cluster.gpu.memory_bytes * 2,
+            )
+
+    def test_cluster_size_mismatch(self, setting):
+        pds, rgraph, nb, hot = setting
+        with pytest.raises(ConfigError):
+            plan_layout(pds, nb.part_offsets, Cluster.dgx1(2), hot, graph=rgraph)
+
+    def test_workspace_always_reserved(self, setting):
+        pds, rgraph, nb, hot = setting
+        cluster = Cluster.dgx1(4)
+        layout = plan_layout(pds, nb.part_offsets, cluster, hot, graph=rgraph)
+        for mem in layout.memory:
+            assert mem.reservations["workspace"] == pytest.approx(
+                cluster.gpu.memory_bytes * WORKSPACE_FRACTION
+            )

@@ -1,0 +1,65 @@
+"""Tests for metrics containers and result export."""
+
+import csv
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import RunConfig, build_system
+from repro.core.metrics import BatchCost, EPOCH_FIELDS, RunResult
+
+
+@pytest.fixture(scope="module")
+def result():
+    cfg = RunConfig(dataset="tiny", num_gpus=2, hidden_dim=16, batch_size=8,
+                    fanout=(4, 3))
+    return build_system("DSP", cfg).train(epochs=2)
+
+
+class TestBatchCost:
+    def test_addition(self):
+        a = BatchCost(sample_time=1, load_time=2, train_time=3,
+                      nvlink_bytes=10, pcie_bytes=20, uva_payload_bytes=5)
+        b = BatchCost(sample_time=0.5)
+        c = a + b
+        assert c.sample_time == 1.5
+        assert c.total_time == pytest.approx(6.5)
+        assert c.nvlink_bytes == 10
+
+
+class TestRunResult:
+    def test_aggregates(self, result):
+        assert result.mean_epoch_time > 0
+        assert result.mean_sample_time > 0
+        assert 0 <= result.final_val_accuracy <= 1
+
+    def test_to_json_roundtrip(self, result, tmp_path):
+        path = tmp_path / "run.json"
+        text = result.to_json(path)
+        payload = json.loads(path.read_text())
+        assert payload == json.loads(text)
+        assert payload["system"] == "DSP"
+        assert len(payload["epochs"]) == 2
+        assert set(EPOCH_FIELDS) <= set(payload["epochs"][0])
+
+    def test_json_nan_becomes_null(self):
+        cfg = RunConfig(dataset="tiny", num_gpus=2, hidden_dim=16,
+                        batch_size=8, fanout=(4, 3))
+        r = build_system("DSP", cfg).train(epochs=1, functional=False,
+                                           max_batches=2)
+        payload = json.loads(r.to_json())
+        assert payload["epochs"][0]["loss"] is None
+
+    def test_to_csv(self, result, tmp_path):
+        path = tmp_path / "run.csv"
+        result.to_csv(path)
+        rows = list(csv.reader(path.read_text().splitlines()))
+        assert rows[0][:4] == ["system", "dataset", "num_gpus", "epoch"]
+        assert len(rows) == 3  # header + 2 epochs
+        assert rows[1][0] == "DSP"
+
+    def test_empty_result(self):
+        r = RunResult("DSP", "tiny", 2)
+        assert r.final_val_accuracy == 0.0
+        assert len(json.loads(r.to_json())["epochs"]) == 0

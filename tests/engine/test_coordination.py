@@ -1,0 +1,152 @@
+"""Tests for CCC: the Fig 8 deadlock and its fix.
+
+The scenario from the paper: two workers per GPU (sampler and loader),
+each running an all-to-all collective.  A collective kernel acquires SM
+threads, then rendezvouses with its peers.  If GPU 0 launches sampler
+first while GPU 1 launches loader first and neither has threads left
+for the other kernel, the system deadlocks.  With the CCC launch gate,
+all GPUs follow the leader's order and the deadlock disappears.
+"""
+
+import pytest
+
+from repro.engine import (
+    BoundedQueue,
+    LaunchGate,
+    Rendezvous,
+    Resource,
+    Simulator,
+    Timeout,
+)
+from repro.utils import DeadlockError, ReproError
+
+NUM_GPUS = 2
+KERNEL_THREADS = 8
+
+
+def collective_worker(sim, gpu, sms, barrier, gate, tag, start_delay, duration):
+    """One worker's communication kernel, optionally CCC-gated."""
+    yield Timeout(start_delay)
+    if gate is not None:
+        yield gate.wait_turn(gpu, tag)
+    yield sms[gpu].acquire(KERNEL_THREADS)  # irrevocable SM allocation
+    if gate is not None:
+        gate.launched(gpu, tag)
+    yield barrier.arrive(tag, NUM_GPUS)  # peers must all have launched
+    yield Timeout(duration)
+    sms[gpu].release(KERNEL_THREADS)
+
+
+def build(gate_enabled: bool):
+    sim = Simulator()
+    # each GPU has room for exactly ONE communication kernel at a time
+    sms = [Resource(sim, KERNEL_THREADS, name=f"gpu{g}") for g in range(NUM_GPUS)]
+    barrier = Rendezvous(sim)
+    gate = LaunchGate(sim, NUM_GPUS) if gate_enabled else None
+    # GPU 0 reaches the sampler collective first; GPU 1 the loader first
+    delays = {("sampler", 0): 0.0, ("loader", 0): 0.1,
+              ("sampler", 1): 0.1, ("loader", 1): 0.0}
+    for tag in ("sampler", "loader"):
+        for gpu in range(NUM_GPUS):
+            sim.spawn(
+                collective_worker(
+                    sim, gpu, sms, barrier, gate, tag, delays[(tag, gpu)], 1.0
+                ),
+                name=f"{tag}-gpu{gpu}",
+            )
+    return sim
+
+
+class TestFig8Deadlock:
+    def test_without_ccc_deadlocks(self):
+        sim = build(gate_enabled=False)
+        with pytest.raises(DeadlockError) as err:
+            sim.run()
+        # both GPUs are stuck: one kernel holds SMs at the barrier, the
+        # other cannot acquire SMs
+        assert len(err.value.waiting) >= 2
+
+    def test_with_ccc_completes(self):
+        sim = build(gate_enabled=True)
+        t = sim.run()
+        assert not sim.unfinished
+        # the two collectives run back-to-back: ~2 time units
+        assert t == pytest.approx(2.1, abs=0.2)
+
+
+class TestLaunchGate:
+    def test_leader_defines_order(self):
+        sim = Simulator()
+        gate = LaunchGate(sim, num_gpus=2)
+        log = []
+
+        def leader():
+            yield gate.wait_turn(0, "B")
+            gate.launched(0, "B")
+            log.append("leader-B")
+            yield gate.wait_turn(0, "A")
+            gate.launched(0, "A")
+            log.append("leader-A")
+
+        def follower():
+            # follower is ready for A first, but must launch B first
+            yield gate.wait_turn(1, "A")
+            gate.launched(1, "A")
+            log.append("follower-A")
+
+        def follower_b():
+            yield Timeout(1.0)
+            yield gate.wait_turn(1, "B")
+            gate.launched(1, "B")
+            log.append("follower-B")
+
+        sim.spawn(leader())
+        sim.spawn(follower())
+        sim.spawn(follower_b())
+        sim.run()
+        assert log.index("follower-B") < log.index("follower-A")
+        assert gate.order == ["B", "A"]
+
+    def test_out_of_turn_launch_rejected(self):
+        sim = Simulator()
+        gate = LaunchGate(sim, num_gpus=2)
+        gate._register("A")
+        gate._register("B")
+        with pytest.raises(ReproError):
+            gate.launched(0, "B")
+
+    def test_unknown_tag_rejected(self):
+        sim = Simulator()
+        gate = LaunchGate(sim, num_gpus=1)
+        with pytest.raises(ReproError):
+            gate.launched(0, "nope")
+
+    def test_bad_leader(self):
+        with pytest.raises(ReproError):
+            LaunchGate(Simulator(), num_gpus=2, leader=5)
+
+    def test_bad_gpu(self):
+        gate = LaunchGate(Simulator(), num_gpus=2)
+        with pytest.raises(ReproError):
+            gate.wait_turn(7, "x")
+
+    def test_follower_waits_for_registration(self):
+        """A follower that is ready before the leader simply waits."""
+        sim = Simulator()
+        gate = LaunchGate(sim, num_gpus=2)
+        times = []
+
+        def follower():
+            yield gate.wait_turn(1, "T")
+            gate.launched(1, "T")
+            times.append(sim.now)
+
+        def leader():
+            yield Timeout(3.0)
+            yield gate.wait_turn(0, "T")
+            gate.launched(0, "T")
+
+        sim.spawn(follower())
+        sim.spawn(leader())
+        sim.run()
+        assert times == [pytest.approx(3.0)]

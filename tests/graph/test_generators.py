@@ -1,0 +1,78 @@
+"""Tests for synthetic graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.graph import dcsbm_graph, rmat_graph, uniform_graph
+from repro.utils import ReproError
+
+
+class TestRMAT:
+    def test_shape(self):
+        g = rmat_graph(1000, 5000, rng=0)
+        assert g.num_nodes == 1000
+        assert 0 < g.num_edges <= 5000  # dedup may remove a few
+
+    def test_deterministic(self):
+        a = rmat_graph(500, 2000, rng=7)
+        b = rmat_graph(500, 2000, rng=7)
+        assert np.array_equal(a.indptr, b.indptr)
+        assert np.array_equal(a.indices, b.indices)
+
+    def test_degree_skew(self):
+        """RMAT must produce a skewed in-degree distribution."""
+        g = rmat_graph(4096, 80_000, rng=1)
+        deg = np.sort(g.degrees)[::-1]
+        top1pct = deg[: len(deg) // 100].sum()
+        assert top1pct > 0.05 * g.num_edges  # top 1% of nodes get >5% of edges
+        assert deg[0] > 10 * max(1, np.median(deg))
+
+    def test_invalid_probabilities(self):
+        with pytest.raises(ReproError):
+            rmat_graph(10, 10, a=0.9, b=0.9, c=0.9)
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ReproError):
+            rmat_graph(0, 10)
+
+
+class TestDCSBM:
+    def test_communities_returned(self):
+        g, comm = dcsbm_graph(2000, 20_000, num_communities=8, rng=0, return_communities=True)
+        assert g.num_nodes == 2000
+        assert set(np.unique(comm)) == set(range(8))
+
+    def test_homophily(self):
+        """Most edges should stay inside a community when intra_prob is high."""
+        g, comm = dcsbm_graph(
+            2000, 30_000, num_communities=8, intra_prob=0.9, rng=0, return_communities=True
+        )
+        dst = np.repeat(np.arange(g.num_nodes), g.degrees)
+        intra = np.mean(comm[g.indices] == comm[dst])
+        assert intra > 0.7
+
+    def test_degree_skew(self):
+        g = dcsbm_graph(4000, 60_000, rng=2)
+        deg = np.sort(g.degrees)[::-1]
+        assert deg[0] > 5 * max(1.0, np.median(deg))
+
+    def test_invalid_args(self):
+        with pytest.raises(ReproError):
+            dcsbm_graph(100, 100, intra_prob=1.5)
+        with pytest.raises(ReproError):
+            dcsbm_graph(100, 100, num_communities=0)
+        with pytest.raises(ReproError):
+            dcsbm_graph(10, 100, num_communities=20)
+
+
+class TestUniform:
+    def test_shape_and_determinism(self):
+        a = uniform_graph(100, 500, rng=3)
+        b = uniform_graph(100, 500, rng=3)
+        assert a.num_nodes == 100
+        assert np.array_equal(a.indices, b.indices)
+
+    def test_no_strong_skew(self):
+        g = uniform_graph(1000, 50_000, rng=4)
+        deg = g.degrees
+        assert deg.max() < 5 * deg.mean()

@@ -1,0 +1,159 @@
+"""Tests for graph partitioning."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    CSRGraph,
+    Partition,
+    dcsbm_graph,
+    edge_cut,
+    hash_partition,
+    ldg_partition,
+    metis_partition,
+    range_partition,
+)
+from repro.utils import PartitionError
+
+
+class TestPartitionType:
+    def test_part_sizes(self):
+        p = Partition(np.array([0, 1, 1, 0, 2]), 3)
+        assert p.part_sizes.tolist() == [2, 2, 1]
+        assert p.nodes_of(1).tolist() == [1, 2]
+
+    def test_imbalance(self):
+        p = Partition(np.array([0, 0, 0, 1]), 2)
+        assert p.imbalance() == pytest.approx(1.5)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(PartitionError):
+            Partition(np.array([0, 3]), 2)
+        with pytest.raises(PartitionError):
+            Partition(np.array([0]), 0)
+
+
+class TestBaselinePartitioners:
+    def test_hash_balanced(self):
+        p = hash_partition(1000, 8)
+        sizes = p.part_sizes
+        assert sizes.sum() == 1000
+        assert sizes.max() - sizes.min() <= 1
+
+    def test_range_contiguous(self):
+        p = range_partition(10, 3)
+        a = p.assignment
+        assert (np.diff(a) >= 0).all()
+        assert p.part_sizes.sum() == 10
+
+    def test_hash_deterministic(self):
+        assert np.array_equal(hash_partition(100, 4, seed=1).assignment,
+                              hash_partition(100, 4, seed=1).assignment)
+
+
+class TestEdgeCut:
+    def test_known_cut(self):
+        # two triangles joined by a single edge
+        src = np.array([0, 1, 2, 3, 4, 5, 0])
+        dst = np.array([1, 2, 0, 4, 5, 3, 3])
+        g = CSRGraph.from_edges(src, dst, num_nodes=6)
+        p = Partition(np.array([0, 0, 0, 1, 1, 1]), 2)
+        assert edge_cut(g, p) == 1
+
+    def test_single_part_zero_cut(self):
+        g = dcsbm_graph(200, 2000, rng=0)
+        p = Partition(np.zeros(200, dtype=np.int64), 1)
+        assert edge_cut(g, p) == 0
+
+    def test_mismatched_sizes(self):
+        g = dcsbm_graph(200, 2000, rng=0)
+        with pytest.raises(PartitionError):
+            edge_cut(g, Partition(np.zeros(100, dtype=np.int64), 1))
+
+
+class TestMetisPartition:
+    @pytest.fixture(scope="class")
+    def graph(self):
+        return dcsbm_graph(3000, 45_000, num_communities=8, intra_prob=0.9, rng=5)
+
+    def test_valid_and_balanced(self, graph):
+        p = metis_partition(graph, 4, rng=0)
+        assert p.num_parts == 4
+        assert p.num_nodes == graph.num_nodes
+        assert p.imbalance() <= 1.10  # small slack over the 1.05 target
+
+    def test_beats_hash_on_community_graph(self, graph):
+        """The whole point: multilevel partitioning must exploit locality."""
+        metis_cut = edge_cut(graph, metis_partition(graph, 4, rng=0))
+        hash_cut = edge_cut(graph, hash_partition(graph.num_nodes, 4))
+        assert metis_cut < 0.6 * hash_cut
+
+    def test_single_part(self, graph):
+        p = metis_partition(graph, 1)
+        assert (p.assignment == 0).all()
+
+    def test_num_parts_validation(self, graph):
+        with pytest.raises(PartitionError):
+            metis_partition(graph, 0)
+        small = dcsbm_graph(10, 30, num_communities=2, rng=0)
+        with pytest.raises(PartitionError):
+            metis_partition(small, 20)
+
+    def test_deterministic_given_seed(self, graph):
+        a = metis_partition(graph, 4, rng=42)
+        b = metis_partition(graph, 4, rng=42)
+        assert np.array_equal(a.assignment, b.assignment)
+
+    def test_all_parts_nonempty(self, graph):
+        p = metis_partition(graph, 8, rng=1)
+        assert (p.part_sizes > 0).all()
+
+    def test_disconnected_graph(self):
+        """Partitioning must not fail on graphs with isolated nodes."""
+        src = np.array([0, 1])
+        dst = np.array([1, 0])
+        g = CSRGraph.from_edges(src, dst, num_nodes=300)
+        p = metis_partition(g, 4, rng=0)
+        assert p.num_nodes == 300
+        assert p.imbalance() <= 1.2
+
+
+class TestLDGPartition:
+    @pytest.fixture(scope="class")
+    def graph(self):
+        return dcsbm_graph(3000, 45_000, num_communities=8, intra_prob=0.9, rng=5)
+
+    def test_valid_and_balanced(self, graph):
+        p = ldg_partition(graph, 4, rng=0)
+        assert p.num_nodes == graph.num_nodes
+        assert (p.part_sizes > 0).all()
+        assert p.imbalance() <= 1.10
+
+    def test_quality_between_metis_and_hash(self, graph):
+        """Streaming beats hash clearly; multilevel beats streaming."""
+        ldg = edge_cut(graph, ldg_partition(graph, 4, rng=0))
+        metis = edge_cut(graph, metis_partition(graph, 4, rng=0))
+        hashed = edge_cut(graph, hash_partition(graph.num_nodes, 4))
+        assert ldg < 0.7 * hashed
+        assert metis <= ldg * 1.1
+
+    def test_deterministic(self, graph):
+        a = ldg_partition(graph, 4, rng=3)
+        b = ldg_partition(graph, 4, rng=3)
+        assert np.array_equal(a.assignment, b.assignment)
+
+    def test_validation(self, graph):
+        with pytest.raises(PartitionError):
+            ldg_partition(graph, 0)
+        small = dcsbm_graph(10, 30, num_communities=2, rng=0)
+        with pytest.raises(PartitionError):
+            ldg_partition(small, 50)
+
+    def test_dsp_runs_with_ldg(self):
+        from repro.core import RunConfig, build_system
+
+        cfg = RunConfig(dataset="tiny", num_gpus=2, hidden_dim=16,
+                        batch_size=8, fanout=(4, 3), partitioner="ldg")
+        m = build_system("DSP", cfg).run_epoch(max_batches=2,
+                                               functional=False)
+        assert m.epoch_time > 0

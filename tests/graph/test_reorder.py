@@ -1,0 +1,75 @@
+"""Tests for partition-based node renumbering."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    dcsbm_graph,
+    hash_partition,
+    metis_partition,
+    renumber_by_partition,
+)
+from repro.utils import PartitionError
+
+
+@pytest.fixture(scope="module")
+def setting():
+    graph = dcsbm_graph(800, 12_000, num_communities=4, rng=9)
+    part = metis_partition(graph, 4, rng=0)
+    new_graph, new_part, numbering = renumber_by_partition(graph, part)
+    return graph, part, new_graph, new_part, numbering
+
+
+class TestNumbering:
+    def test_roundtrip(self, setting):
+        _, _, _, _, nb = setting
+        ids = np.arange(nb.num_nodes)
+        assert np.array_equal(nb.old_to_new[nb.new_to_old], ids)
+        assert np.array_equal(nb.new_to_old[nb.old_to_new], ids)
+
+    def test_parts_are_consecutive_ranges(self, setting):
+        _, _, _, new_part, nb = setting
+        a = new_part.assignment
+        assert (np.diff(a) >= 0).all()  # sorted by part == consecutive ranges
+        for p in range(nb.num_parts):
+            lo, hi = nb.part_offsets[p], nb.part_offsets[p + 1]
+            assert (a[lo:hi] == p).all()
+
+    def test_owner_lookup_is_range_check(self, setting):
+        _, _, _, new_part, nb = setting
+        ids = np.arange(nb.num_nodes)
+        assert np.array_equal(nb.owner_of(ids), new_part.assignment)
+
+    def test_local_global_roundtrip(self, setting):
+        _, _, _, _, nb = setting
+        for p in range(nb.num_parts):
+            size = nb.part_size(p)
+            local = np.arange(size)
+            glob = nb.to_global(p, local)
+            assert np.array_equal(nb.owner_of(glob), np.full(size, p))
+            assert np.array_equal(nb.to_local(glob), local)
+
+    def test_to_global_bounds(self, setting):
+        _, _, _, _, nb = setting
+        with pytest.raises(PartitionError):
+            nb.to_global(0, np.array([nb.part_size(0)]))
+
+    def test_structure_preserved(self, setting):
+        graph, _, new_graph, _, nb = setting
+        assert new_graph.num_edges == graph.num_edges
+        rng = np.random.default_rng(0)
+        for old in rng.integers(0, graph.num_nodes, size=20):
+            expect = sorted(nb.old_to_new[graph.neighbors(old)].tolist())
+            got = sorted(new_graph.neighbors(nb.old_to_new[old]).tolist())
+            assert got == expect
+
+    def test_partition_sizes_preserved(self, setting):
+        _, part, _, new_part, _ = setting
+        assert np.array_equal(
+            np.sort(part.part_sizes), np.sort(new_part.part_sizes)
+        )
+
+    def test_mismatched_partition_rejected(self, setting):
+        graph, *_ = setting
+        with pytest.raises(PartitionError):
+            renumber_by_partition(graph, hash_partition(graph.num_nodes + 1, 2))

@@ -1,0 +1,53 @@
+"""Tests for the NCCL vs NVSHMEM communication-backend choice (§3.2)."""
+
+import numpy as np
+import pytest
+
+from repro.hw import CostModel, Topology
+from repro.utils import ConfigError, MB
+
+
+def full_mesh(n: int) -> Topology:
+    nv = np.ones((n, n), dtype=np.int64) - np.eye(n, dtype=np.int64)
+    return Topology(nvlink=nv, pcie_switch=np.zeros(n, dtype=np.int64))
+
+
+class TestBackends:
+    def test_nvshmem_rejected_without_full_mesh(self):
+        """The DGX-1 quad ring has no 0-2 link: NVSHMEM must refuse —
+        the paper's stated reason for choosing NCCL."""
+        with pytest.raises(ConfigError):
+            CostModel(Topology.dgx1(4), backend="nvshmem")
+
+    def test_nvshmem_ok_on_two_gpus(self):
+        # 2 directly-linked GPUs form a (trivial) full mesh
+        CostModel(Topology.dgx1(2), backend="nvshmem")
+
+    def test_nvshmem_ok_on_synthetic_mesh(self):
+        CostModel(full_mesh(4), backend="nvshmem")
+
+    def test_nvshmem_lower_launch_overhead(self):
+        t = full_mesh(4)
+        nccl = CostModel(t, backend="nccl")
+        shm = CostModel(t, backend="nvshmem")
+        s = np.full((4, 4), 1024.0)
+        np.fill_diagonal(s, 0)
+        assert shm.alltoall(s).time < nccl.alltoall(s).time
+
+    def test_same_bandwidth_term(self):
+        """For big transfers the backends converge (same links)."""
+        t = full_mesh(4)
+        nccl = CostModel(t, backend="nccl")
+        shm = CostModel(t, backend="nvshmem")
+        s = np.full((4, 4), 256.0 * MB)
+        np.fill_diagonal(s, 0)
+        a, b = nccl.alltoall(s).time, shm.alltoall(s).time
+        assert b < a
+        assert b > 0.95 * a
+
+    def test_unknown_backend(self):
+        with pytest.raises(ConfigError):
+            CostModel(Topology.dgx1(2), backend="magic")
+
+    def test_default_is_nccl(self):
+        assert CostModel(Topology.dgx1(8)).backend == "nccl"

@@ -1,0 +1,132 @@
+"""Tests for the communication cost model."""
+
+import numpy as np
+import pytest
+
+from repro.hw import (
+    CommCost,
+    CostModel,
+    Topology,
+    UVA_REQUEST_PAYLOAD,
+    UVA_REQUEST_TOTAL,
+)
+from repro.utils import ConfigError, MB
+
+
+@pytest.fixture
+def model8():
+    return CostModel(Topology.dgx1(8))
+
+
+@pytest.fixture
+def model2():
+    return CostModel(Topology.dgx1(2))
+
+
+class TestAllToAll:
+    def test_zero_matrix_cheap(self, model8):
+        c = model8.alltoall(np.zeros((8, 8)))
+        assert c.nvlink_bytes == 0
+        assert c.time < 1e-3
+
+    def test_diagonal_is_free(self, model8):
+        s = np.diag(np.full(8, 100 * MB))
+        c = model8.alltoall(s)
+        assert c.nvlink_bytes == 0
+        assert c.payload_bytes == 0
+
+    def test_more_bytes_more_time(self, model8):
+        s1 = np.full((8, 8), 1 * MB)
+        s2 = np.full((8, 8), 10 * MB)
+        assert model8.alltoall(s2).time > model8.alltoall(s1).time
+
+    def test_multi_hop_counts_bytes_per_hop(self, model8):
+        s = np.zeros((8, 8))
+        s[0, 2] = MB  # no direct 0-2 link: 2 hops
+        c = model8.alltoall(s)
+        assert c.nvlink_bytes == pytest.approx(2 * MB)
+        assert c.payload_bytes == pytest.approx(MB)
+
+    def test_single_gpu_free(self):
+        m = CostModel(Topology.dgx1(1))
+        c = m.alltoall(np.zeros((1, 1)))
+        assert c.time == 0 and c.total_bytes == 0
+
+    def test_wrong_shape(self, model8):
+        with pytest.raises(ConfigError):
+            model8.alltoall(np.zeros((4, 4)))
+
+    def test_balanced_traffic_time_matches_bandwidth(self, model2):
+        """2 GPUs, 100 MB each way over a 50 GB/s double link."""
+        s = np.array([[0.0, 100 * MB], [100 * MB, 0.0]])
+        c = model2.alltoall(s)
+        expect = 100 * MB / (2 * 25 * 1024**3)
+        assert c.time == pytest.approx(expect, rel=0.5)  # plus latency terms
+
+
+class TestAllReduce:
+    def test_single_gpu_free(self):
+        m = CostModel(Topology.dgx1(1))
+        assert m.allreduce(MB).time == 0
+
+    def test_bytes_scale_with_gpus(self, model8):
+        c = model8.allreduce(MB)
+        # ring moves 2(n-1)/n * nbytes per GPU
+        assert c.nvlink_bytes == pytest.approx(2 * 7 / 8 * MB * 8)
+
+    def test_monotone_in_bytes(self, model8):
+        assert model8.allreduce(10 * MB).time > model8.allreduce(MB).time
+
+
+class TestUVA:
+    def test_read_amplification_small_items(self, model8):
+        """An 8-byte adjacency read moves 50 wire bytes: 6.25x."""
+        c = model8.uva_gather(0, num_items=1000, item_bytes=8)
+        assert c.payload_bytes == 8000
+        assert c.pcie_bytes == pytest.approx(1000 * UVA_REQUEST_TOTAL)
+        assert c.pcie_bytes / c.payload_bytes == pytest.approx(6.25)
+
+    def test_amplification_large_items(self, model8):
+        """512-byte feature rows amplify by 800/512 = 1.5625."""
+        c = model8.uva_gather(0, num_items=10, item_bytes=512)
+        packets = 512 // UVA_REQUEST_PAYLOAD
+        assert c.pcie_bytes == pytest.approx(10 * packets * UVA_REQUEST_TOTAL)
+        assert c.pcie_bytes / c.payload_bytes == pytest.approx(
+            UVA_REQUEST_TOTAL / UVA_REQUEST_PAYLOAD * 512 / (packets * 32), rel=1e-6
+        )
+
+    def test_zero_items_free(self, model8):
+        assert model8.uva_gather(0, 0, 512).time == 0
+
+    def test_switch_contention_slows_reads(self, model8):
+        solo = model8.uva_gather(0, 10_000, 512, active_gpus=[0])
+        shared = model8.uva_gather(0, 10_000, 512, active_gpus=[0, 1])
+        assert shared.time > 1.5 * solo.time
+
+    def test_uva_slower_than_nvlink_for_same_payload(self, model8):
+        """The core claim: moving the same bytes over PCIe+UVA loses."""
+        payload = 64 * MB
+        uva = model8.uva_gather(0, num_items=payload // 512, item_bytes=512)
+        s = np.zeros((8, 8))
+        s[0, 1] = payload
+        nvlink = model8.alltoall(s)
+        assert uva.time > 5 * nvlink.time
+
+
+class TestPCIeCopy:
+    def test_bulk_copy_no_amplification(self, model8):
+        c = model8.pcie_copy(0, MB)
+        assert c.pcie_bytes == MB
+        assert c.payload_bytes == MB
+
+    def test_peer_copy_multi_hop(self, model8):
+        direct = model8.peer_copy(0, 1, MB)
+        relay = model8.peer_copy(0, 2, MB)
+        assert relay.nvlink_bytes == pytest.approx(2 * MB)
+        assert relay.time >= direct.time
+
+    def test_cost_addition(self):
+        a = CommCost(time=1.0, nvlink_bytes=10, pcie_bytes=5, payload_bytes=8)
+        b = CommCost(time=0.5, nvlink_bytes=1, pcie_bytes=2, payload_bytes=3)
+        c = a + b
+        assert c.time == 1.5 and c.total_bytes == 18 and c.payload_bytes == 11

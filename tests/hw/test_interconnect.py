@@ -1,0 +1,105 @@
+"""Tests for the DGX-1 interconnect model."""
+
+import numpy as np
+import pytest
+
+from repro.hw import Topology
+from repro.utils import ConfigError, GB
+
+
+class TestTable1:
+    """The topology must reproduce the paper's Table 1 exactly."""
+
+    @pytest.mark.parametrize(
+        "num_gpus,nvlink_gbps,pcie_gbps",
+        [(1, 0, 32), (2, 100, 32), (4, 400, 64), (8, 1200, 128)],
+    )
+    def test_aggregate_bandwidths(self, num_gpus, nvlink_gbps, pcie_gbps):
+        t = Topology.dgx1(num_gpus)
+        assert t.aggregate_nvlink_bandwidth() / GB == pytest.approx(nvlink_gbps)
+        assert t.aggregate_pcie_bandwidth() / GB == pytest.approx(pcie_gbps)
+
+
+class TestStructure:
+    def test_v100_has_six_lanes(self):
+        t = Topology.dgx1(8)
+        assert (t.nvlink.sum(axis=1) == 6).all()
+
+    def test_symmetric(self):
+        t = Topology.dgx1(8)
+        assert np.array_equal(t.nvlink, t.nvlink.T)
+
+    def test_invalid_gpu_count(self):
+        with pytest.raises(ConfigError):
+            Topology.dgx1(0)
+        with pytest.raises(ConfigError):
+            Topology.dgx1(9)
+
+    def test_rejects_asymmetric_matrix(self):
+        with pytest.raises(ConfigError):
+            Topology(nvlink=np.array([[0, 1], [2, 0]]), pcie_switch=np.array([0, 0]))
+
+    def test_rejects_self_links(self):
+        with pytest.raises(ConfigError):
+            Topology(nvlink=np.array([[1]]), pcie_switch=np.array([0]))
+
+
+class TestRouting:
+    def test_direct_route(self):
+        t = Topology.dgx1(8)
+        assert t.route(0, 1) == ((0, 1),)
+
+    def test_local_route_empty(self):
+        t = Topology.dgx1(4)
+        assert t.route(2, 2) == ()
+        assert t.path_bandwidth(2, 2) == float("inf")
+
+    def test_multi_hop_route(self):
+        """GPUs 0 and 2 have no direct link in the quad ring: 2 hops."""
+        t = Topology.dgx1(4)
+        hops = t.route(0, 2)
+        assert len(hops) == 2
+        assert hops[0][0] == 0 and hops[-1][1] == 2
+
+    def test_all_pairs_connected_at_8(self):
+        t = Topology.dgx1(8)
+        for i in range(8):
+            for j in range(8):
+                assert t.has_nvlink_path(i, j)
+
+    def test_path_bandwidth_is_bottleneck(self):
+        t = Topology.dgx1(8)
+        direct = t.path_bandwidth(0, 1)
+        relay = t.path_bandwidth(0, 2)
+        assert direct == pytest.approx(2 * 25 * GB)
+        assert relay <= direct
+
+    def test_route_out_of_range(self):
+        t = Topology.dgx1(2)
+        with pytest.raises(ConfigError):
+            t.route(0, 5)
+
+
+class TestPCIe:
+    def test_switch_sharing(self):
+        t = Topology.dgx1(8)
+        # GPUs 0 and 1 share a switch; 0 and 2 do not
+        assert t.pcie_sharers(0, [0, 1]) == 2
+        assert t.pcie_sharers(0, [0, 2]) == 1
+
+    def test_contention_halves_bandwidth(self):
+        """The DGL-UVA 1->2 GPU stall: same-switch GPUs split the uplink."""
+        t = Topology.dgx1(8)
+        solo = t.pcie_bandwidth(0, [0])
+        shared = t.pcie_bandwidth(0, [0, 1])
+        assert shared == pytest.approx(solo / 2)
+
+    def test_different_switch_no_contention(self):
+        t = Topology.dgx1(8)
+        assert t.pcie_bandwidth(0, [0, 2]) == t.pcie_bandwidth(0, [0])
+
+    def test_scale_divides_bandwidth(self):
+        t1 = Topology.dgx1(8, scale=1.0)
+        t100 = Topology.dgx1(8, scale=100.0)
+        assert t100.nvlink_lane_bw == pytest.approx(t1.nvlink_lane_bw / 100)
+        assert t100.pcie_switch_bw == pytest.approx(t1.pcie_switch_bw / 100)

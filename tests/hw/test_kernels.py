@@ -1,0 +1,87 @@
+"""Tests for the kernel duration model."""
+
+import pytest
+
+from repro.hw import GPUSpec, KernelSpec, kernel_duration
+from repro.hw.kernels import (
+    comm_kernel,
+    compute_kernel,
+    gather_kernel,
+    sampling_kernel,
+)
+from repro.utils import ConfigError
+
+
+@pytest.fixture
+def gpu():
+    return GPUSpec()
+
+
+class TestDurationModel:
+    def test_saturation(self, gpu):
+        """Fig 2: beyond sat_threads, extra threads buy nothing."""
+        spec = sampling_kernel(gpu, num_tasks=100_000, fanout=10)
+        t_sat = kernel_duration(spec, spec.sat_threads)
+        t_full = kernel_duration(spec, gpu.total_threads)
+        assert t_full == pytest.approx(t_sat)
+
+    def test_scaling_below_saturation(self, gpu):
+        spec = sampling_kernel(gpu, num_tasks=100_000, fanout=10)
+        t_half = kernel_duration(spec, spec.sat_threads // 2)
+        t_sat = kernel_duration(spec, spec.sat_threads)
+        # half the threads -> about twice the work time (modulo launch)
+        assert (t_half - spec.launch_s) == pytest.approx(
+            2 * (t_sat - spec.launch_s), rel=1e-6
+        )
+
+    def test_fig2_shape(self, gpu):
+        """Duration is non-increasing in threads and flattens early."""
+        spec = gather_kernel(gpu, nbytes=64 * 1024 * 1024)
+        threads = [256, 512, 1024, 2048, 4096, 5120]
+        times = [kernel_duration(spec, t) for t in threads]
+        assert all(a >= b - 1e-12 for a, b in zip(times, times[1:]))
+        assert times[-1] == pytest.approx(times[-2])  # flat tail
+
+    def test_launch_overhead_floor(self, gpu):
+        spec = sampling_kernel(gpu, num_tasks=0, fanout=5)
+        assert kernel_duration(spec) == pytest.approx(spec.launch_s)
+
+    def test_invalid_threads(self, gpu):
+        spec = sampling_kernel(gpu, num_tasks=10, fanout=5)
+        with pytest.raises(ConfigError):
+            kernel_duration(spec, 0)
+
+    def test_invalid_spec(self):
+        with pytest.raises(ConfigError):
+            KernelSpec(name="x", work=-1, full_rate=1, sat_threads=1, threads=1)
+        with pytest.raises(ConfigError):
+            KernelSpec(name="x", work=1, full_rate=0, sat_threads=1, threads=1)
+
+
+class TestBuilders:
+    def test_comm_kernel_has_tiny_footprint(self, gpu):
+        k = comm_kernel(gpu, duration=1e-3)
+        assert k.threads <= 256
+        assert kernel_duration(k) == pytest.approx(1e-3)
+
+    def test_compute_footprint_scales_with_work(self, gpu):
+        big = compute_kernel(gpu, flops=1e11)
+        small = compute_kernel(gpu, flops=1e6)
+        assert big.threads == gpu.total_threads
+        assert small.threads < gpu.total_threads  # light GNN GEMMs
+
+    def test_compute_footprint_scale(self, gpu):
+        shrunk = compute_kernel(gpu, flops=1e8, footprint_scale=1 / 32)
+        full = compute_kernel(gpu, flops=1e8)
+        assert shrunk.threads >= full.threads
+
+    def test_scaled_gpu_shrinks_memory_not_rates(self, gpu):
+        """Scaling preserves kernel rates; only capacity shrinks."""
+        scaled = gpu.scaled(100)
+        assert scaled.memory_bytes == pytest.approx(gpu.memory_bytes / 100)
+        a = kernel_duration(sampling_kernel(gpu, 10_000, 10))
+        b = kernel_duration(sampling_kernel(scaled, 10_000, 10))
+        assert a == pytest.approx(b)
+
+    def test_v100_thread_count(self, gpu):
+        assert gpu.total_threads == 5120  # the number quoted in Fig 2

@@ -1,0 +1,65 @@
+"""Tests for GPU memory tracking and allocator models."""
+
+import pytest
+
+from repro.hw import AllocatorKind, DeviceMemory, alloc_overhead
+from repro.hw.memory import POOLED_ALLOC_S, RAW_ALLOC_S
+from repro.utils import CapacityError, MB
+
+
+class TestDeviceMemory:
+    def test_reserve_release(self):
+        m = DeviceMemory(capacity=100 * MB)
+        m.reserve("topo", 60 * MB)
+        assert m.free == 40 * MB
+        m.release("topo")
+        assert m.free == 100 * MB
+
+    def test_oom(self):
+        m = DeviceMemory(capacity=10 * MB)
+        with pytest.raises(CapacityError):
+            m.reserve("big", 11 * MB)
+
+    def test_duplicate_tag(self):
+        m = DeviceMemory(capacity=10 * MB)
+        m.reserve("x", MB)
+        with pytest.raises(CapacityError):
+            m.reserve("x", MB)
+
+    def test_release_unknown(self):
+        with pytest.raises(CapacityError):
+            DeviceMemory(capacity=MB).release("nope")
+
+    def test_fits(self):
+        m = DeviceMemory(capacity=10 * MB)
+        m.reserve("a", 9 * MB)
+        assert m.fits(MB)
+        assert not m.fits(2 * MB)
+
+    def test_negative_reserve(self):
+        with pytest.raises(ValueError):
+            DeviceMemory(capacity=MB).reserve("a", -1)
+
+
+class TestAllocators:
+    def test_raw_much_slower_than_pooled(self):
+        """Why Quiver loses to DGL-UVA despite caching (paper §7.2)."""
+        n = 1000
+        raw = alloc_overhead(AllocatorKind.RAW_CUDA, n)
+        pooled = alloc_overhead(AllocatorKind.POOLED, n)
+        assert raw > 50 * pooled
+
+    def test_linear_in_count(self):
+        assert alloc_overhead(AllocatorKind.RAW_CUDA, 10) == pytest.approx(
+            10 * RAW_ALLOC_S
+        )
+        assert alloc_overhead(AllocatorKind.POOLED, 10) == pytest.approx(
+            10 * POOLED_ALLOC_S
+        )
+
+    def test_zero_allocations_free(self):
+        assert alloc_overhead(AllocatorKind.POOLED, 0) == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            alloc_overhead(AllocatorKind.POOLED, -1)

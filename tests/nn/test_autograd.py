@@ -1,0 +1,181 @@
+"""Autograd correctness: analytic vs numeric gradients."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor, functional as F
+from repro.utils import ReproError
+
+
+def numeric_grad(fn, x: np.ndarray, eps: float = 1e-3) -> np.ndarray:
+    """Central-difference gradient of scalar fn w.r.t. x."""
+    g = np.zeros_like(x, dtype=np.float64)
+    flat = x.reshape(-1)
+    gf = g.reshape(-1)
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        up = fn(x)
+        flat[i] = orig - eps
+        down = fn(x)
+        flat[i] = orig
+        gf[i] = (up - down) / (2 * eps)
+    return g
+
+
+def check_grad(build, x0: np.ndarray, rtol=2e-2, atol=2e-3):
+    """build(tensor) -> scalar Tensor; compares backward vs numeric."""
+    t = Tensor(x0.copy(), requires_grad=True)
+    out = build(t)
+    out.backward()
+
+    def scalar_fn(arr):
+        return build(Tensor(arr)).item()
+
+    num = numeric_grad(scalar_fn, x0.astype(np.float64))
+    np.testing.assert_allclose(t.grad, num, rtol=rtol, atol=atol)
+
+
+RNG = np.random.default_rng(0)
+
+
+class TestBasicOps:
+    def test_add(self):
+        b = RNG.normal(size=(3, 4)).astype(np.float32)
+        check_grad(lambda t: (t + Tensor(b)).sum(), RNG.normal(size=(3, 4)))
+
+    def test_add_broadcast_bias(self):
+        x = RNG.normal(size=(5, 3))
+        bias = Tensor(RNG.normal(size=(3,)).astype(np.float32), requires_grad=True)
+        t = Tensor(x.astype(np.float32), requires_grad=True)
+        out = (t + bias).sum()
+        out.backward()
+        np.testing.assert_allclose(bias.grad, np.full(3, 5.0), rtol=1e-5)
+
+    def test_sub_and_neg(self):
+        b = RNG.normal(size=(3, 3)).astype(np.float32)
+        check_grad(lambda t: ((-t) - Tensor(b)).sum(), RNG.normal(size=(3, 3)))
+
+    def test_mul_elementwise(self):
+        b = RNG.normal(size=(4, 2)).astype(np.float32)
+        check_grad(lambda t: (t * Tensor(b)).sum(), RNG.normal(size=(4, 2)))
+
+    def test_mul_scalar(self):
+        check_grad(lambda t: (t * 3.5).sum(), RNG.normal(size=(4,)))
+
+    def test_matmul(self):
+        b = RNG.normal(size=(4, 2)).astype(np.float32)
+        check_grad(lambda t: (t @ Tensor(b)).sum(), RNG.normal(size=(3, 4)))
+
+    def test_matmul_grad_of_rhs(self):
+        a = RNG.normal(size=(3, 4)).astype(np.float32)
+        check_grad(lambda t: (Tensor(a) @ t).sum(), RNG.normal(size=(4, 2)))
+
+    def test_mean(self):
+        check_grad(lambda t: t.mean(), RNG.normal(size=(6,)))
+
+    def test_chained_reuse(self):
+        """A tensor used twice must accumulate both paths."""
+        check_grad(lambda t: ((t * t) + t).sum(), RNG.normal(size=(5,)))
+
+    def test_backward_requires_scalar(self):
+        t = Tensor(np.ones((2, 2)), requires_grad=True)
+        with pytest.raises(ReproError):
+            (t * 2.0).backward()
+
+    def test_no_grad_when_not_required(self):
+        t = Tensor(np.ones(3))
+        out = (t * 2.0).sum()
+        out.backward()
+        assert t.grad is None
+
+
+class TestActivations:
+    def test_relu(self):
+        x = RNG.normal(size=(5, 3))
+        x[np.abs(x) < 0.1] = 0.5  # keep away from the kink
+        check_grad(lambda t: F.relu(t).sum(), x)
+
+    def test_leaky_relu(self):
+        x = RNG.normal(size=(5, 3))
+        x[np.abs(x) < 0.1] = 0.5
+        check_grad(lambda t: F.leaky_relu(t, 0.2).sum(), x)
+
+    def test_log_softmax_rows_normalize(self):
+        x = Tensor(RNG.normal(size=(4, 6)).astype(np.float32))
+        out = F.log_softmax(x)
+        np.testing.assert_allclose(np.exp(out.data).sum(axis=1), 1.0, rtol=1e-5)
+
+    def test_log_softmax_grad(self):
+        w = RNG.normal(size=(3, 4)).astype(np.float32)
+        check_grad(lambda t: (F.log_softmax(t) * Tensor(w)).sum(),
+                   RNG.normal(size=(3, 4)))
+
+    def test_dropout_eval_identity(self):
+        x = Tensor(RNG.normal(size=(10, 4)).astype(np.float32))
+        out = F.dropout(x, 0.5, rng=0, training=False)
+        assert out is x
+
+    def test_dropout_scales(self):
+        x = Tensor(np.ones((2000, 1), dtype=np.float32))
+        out = F.dropout(x, 0.5, rng=0)
+        assert out.data.mean() == pytest.approx(1.0, rel=0.1)
+        assert (out.data == 0).mean() == pytest.approx(0.5, abs=0.05)
+
+    def test_dropout_bad_p(self):
+        with pytest.raises(ReproError):
+            F.dropout(Tensor(np.ones(3)), 1.0)
+
+
+class TestSegmentOps:
+    SEG = np.array([0, 0, 1, 2, 2, 2])
+
+    def test_segment_sum_forward(self):
+        x = Tensor(np.arange(6, dtype=np.float32).reshape(6, 1))
+        out = F.segment_sum(x, self.SEG, 3)
+        assert out.data.ravel().tolist() == [1.0, 2.0, 12.0]
+
+    def test_segment_sum_grad(self):
+        w = RNG.normal(size=(3, 2)).astype(np.float32)
+        check_grad(lambda t: (F.segment_sum(t, self.SEG, 3) * Tensor(w)).sum(),
+                   RNG.normal(size=(6, 2)))
+
+    def test_segment_mean_forward_and_empty(self):
+        x = Tensor(np.arange(6, dtype=np.float32).reshape(6, 1))
+        out = F.segment_mean(x, self.SEG, 4)  # segment 3 empty
+        assert out.data.ravel().tolist() == [0.5, 2.0, 4.0, 0.0]
+
+    def test_segment_mean_grad(self):
+        w = RNG.normal(size=(3, 2)).astype(np.float32)
+        check_grad(lambda t: (F.segment_mean(t, self.SEG, 3) * Tensor(w)).sum(),
+                   RNG.normal(size=(6, 2)))
+
+    def test_segment_softmax_normalizes(self):
+        x = Tensor(RNG.normal(size=(6,)).astype(np.float32))
+        out = F.segment_softmax(x, self.SEG, 3)
+        sums = np.zeros(3)
+        np.add.at(sums, self.SEG, out.data)
+        np.testing.assert_allclose(sums, 1.0, rtol=1e-5)
+
+    def test_segment_softmax_grad(self):
+        w = RNG.normal(size=(6,)).astype(np.float32)
+        check_grad(lambda t: (F.segment_softmax(t, self.SEG, 3) * Tensor(w)).sum(),
+                   RNG.normal(size=(6,)))
+
+    def test_gather_rows_grad_accumulates_duplicates(self):
+        idx = np.array([0, 0, 2])
+        t = Tensor(np.ones((3, 2), dtype=np.float32), requires_grad=True)
+        out = F.gather_rows(t, idx).sum()
+        out.backward()
+        np.testing.assert_allclose(t.grad, [[2, 2], [0, 0], [1, 1]])
+
+    def test_concat_grad(self):
+        a = RNG.normal(size=(3, 2)).astype(np.float32)
+        check_grad(
+            lambda t: (F.concat([t, Tensor(a)]) * 1.0).sum(),
+            RNG.normal(size=(3, 2)),
+        )
+
+    def test_segment_mismatch_rejected(self):
+        with pytest.raises(ReproError):
+            F.segment_sum(Tensor(np.ones((3, 1))), np.array([0, 1]), 2)

@@ -1,0 +1,113 @@
+"""Tests for segment_max and the GraphSAGE pool aggregator."""
+
+import numpy as np
+import pytest
+
+from repro.nn import GraphSAGE, Adam, Tensor, cross_entropy, functional as F
+from repro.nn.gnn import SAGEConv
+from repro.utils import ReproError
+
+
+class TestSegmentMax:
+    SEG = np.array([0, 0, 1, 2, 2, 2])
+
+    def test_forward(self):
+        x = Tensor(np.array([[1.], [5.], [2.], [7.], [3.], [9.]],
+                            dtype=np.float32))
+        out = F.segment_max(x, self.SEG, 3)
+        assert out.data.ravel().tolist() == [5.0, 2.0, 9.0]
+
+    def test_empty_segment_zero(self):
+        x = Tensor(np.ones((2, 1), dtype=np.float32))
+        out = F.segment_max(x, np.array([0, 0]), 3)
+        assert out.data.ravel().tolist() == [1.0, 0.0, 0.0]
+
+    def test_grad_routes_to_argmax(self):
+        x = Tensor(np.array([[1., 4.], [5., 2.], [3., 3.]],
+                            dtype=np.float32), requires_grad=True)
+        out = F.segment_max(x, np.array([0, 0, 1]), 2)
+        out.sum().backward()
+        np.testing.assert_allclose(x.grad, [[0, 1], [1, 0], [1, 1]])
+
+    def test_grad_matches_numeric(self):
+        rng = np.random.default_rng(0)
+        x0 = rng.normal(size=(6, 3)).astype(np.float64)
+        seg = np.array([0, 1, 0, 2, 2, 1])
+        w = rng.normal(size=(3, 3)).astype(np.float32)
+
+        def f(arr):
+            t = Tensor(arr)
+            return (F.segment_max(t, seg, 3) * Tensor(w)).sum().item()
+
+        t = Tensor(x0.copy(), requires_grad=True)
+        (F.segment_max(t, seg, 3) * Tensor(w)).sum().backward()
+        eps = 1e-4
+        for i in (0, 7, 17):
+            flat = x0.reshape(-1).copy()
+            flat[i] += eps
+            up = f(flat.reshape(6, 3))
+            flat[i] -= 2 * eps
+            down = f(flat.reshape(6, 3))
+            num = (up - down) / (2 * eps)
+            assert t.grad.reshape(-1)[i] == pytest.approx(num, abs=1e-2)
+
+    def test_tie_single_winner(self):
+        """Duplicated max values route gradient to exactly one row."""
+        x = Tensor(np.array([[2.0], [2.0]], dtype=np.float32),
+                   requires_grad=True)
+        F.segment_max(x, np.array([0, 0]), 1).sum().backward()
+        assert x.grad.sum() == pytest.approx(1.0)
+
+    def test_seg_mismatch(self):
+        with pytest.raises(ReproError):
+            F.segment_max(Tensor(np.ones((3, 1))), np.array([0, 1]), 2)
+
+    def test_1d_input(self):
+        x = Tensor(np.array([1.0, 3.0, 2.0], dtype=np.float32),
+                   requires_grad=True)
+        out = F.segment_max(x, np.array([0, 0, 1]), 2)
+        assert out.data.tolist() == [3.0, 2.0]
+        out.sum().backward()
+        assert x.grad.tolist() == [0.0, 1.0, 1.0]
+
+
+class TestPoolAggregator:
+    @pytest.fixture(scope="class")
+    def batch(self):
+        from repro.graph import load_dataset
+        from repro.sampling import CollectiveSampler, CSPConfig
+        from repro.sampling.local import GraphPatch
+
+        ds = load_dataset("tiny")
+        sampler = CollectiveSampler(
+            [GraphPatch.full(ds.graph)], np.array([0, ds.num_nodes]), seed=0
+        )
+        seeds = np.arange(64, dtype=np.int64)
+        samples, _, _ = sampler.sample([seeds], CSPConfig(fanout=(5, 3)))
+        return ds, samples[0]
+
+    def test_pool_model_learns(self, batch):
+        ds, sample = batch
+        model = GraphSAGE(ds.feature_dim, 32, ds.num_classes, num_layers=2,
+                          seed=0, aggregator="pool")
+        feats = Tensor(ds.features[sample.all_nodes])
+        labels = ds.labels[sample.seeds]
+        opt = Adam(model.parameters(), lr=5e-3)
+        first = None
+        for _ in range(20):
+            opt.zero_grad()
+            loss = cross_entropy(model(sample, feats), labels)
+            first = first or loss.item()
+            loss.backward()
+            opt.step()
+        assert loss.item() < first
+
+    def test_pool_has_extra_parameters_and_flops(self):
+        mean = SAGEConv(8, 4, aggregator="mean", rng=0)
+        pool = SAGEConv(8, 4, aggregator="pool", rng=0)
+        assert len(pool.parameters()) > len(mean.parameters())
+        assert pool.flops_per_dst > mean.flops_per_dst
+
+    def test_unknown_aggregator(self):
+        with pytest.raises(ReproError):
+            SAGEConv(4, 4, aggregator="magic")

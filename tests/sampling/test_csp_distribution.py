@@ -1,0 +1,88 @@
+"""Statistical tests: CSP sampling distributions are unchanged by
+partitioning — a core correctness property of the shuffle/sample/
+reshuffle decomposition."""
+
+import numpy as np
+import pytest
+
+from repro.graph import CSRGraph, hash_partition, renumber_by_partition
+from repro.sampling import CollectiveSampler, CSPConfig
+
+
+def star_graph(weights=None):
+    """Node 0 has in-neighbours 1..8 (optionally weighted)."""
+    src = np.arange(1, 9)
+    dst = np.zeros(8, dtype=np.int64)
+    w = None if weights is None else np.asarray(weights, dtype=np.float32)
+    return CSRGraph.from_edges(src, dst, num_nodes=9, edge_weights=w)
+
+
+def build(graph, k, seed=0):
+    part = hash_partition(graph.num_nodes, k, seed=1)
+    rgraph, _, nb = renumber_by_partition(graph, part)
+    sampler = CollectiveSampler.from_partitioned(rgraph, nb.part_offsets,
+                                                 seed=seed)
+    return sampler, nb
+
+
+def frequencies(sampler, nb, seed_old, cfg, trials):
+    """Empirical pick counts (in old ids) for one seed's first hop."""
+    seed_new = int(nb.old_to_new[seed_old])
+    owner = int(sampler.owner_of(np.array([seed_new]))[0])
+    seeds = [np.empty(0, dtype=np.int64) for _ in range(sampler.num_gpus)]
+    seeds[owner] = np.full(trials, seed_new, dtype=np.int64)
+    samples, _, _ = sampler.sample(seeds, cfg)
+    picked = samples[owner].blocks[0].src_nodes
+    counts = np.zeros(nb.num_nodes, dtype=np.int64)
+    np.add.at(counts, nb.new_to_old[picked], 1)
+    return counts
+
+
+class TestDistributionInvariance:
+    def test_uniform_sampling_uniform_across_partitions(self):
+        """Every neighbour of the star centre is drawn ~uniformly, no
+        matter how many GPUs hold the graph."""
+        g = star_graph()
+        cfg = CSPConfig(fanout=(1,))
+        for k in (1, 3):
+            sampler, nb = build(g, k)
+            counts = frequencies(sampler, nb, 0, cfg, trials=4000)
+            freq = counts[1:9]
+            assert freq.sum() == 4000
+            expected = 4000 / 8
+            # chi-square-ish bound: all cells within 25% of expectation
+            assert freq.min() > 0.75 * expected
+            assert freq.max() < 1.25 * expected
+
+    def test_biased_sampling_follows_weights_across_partitions(self):
+        """Biased CSP respects edge weights identically under 1 or 3
+        partitions (§4.2: weights are stored with the edges)."""
+        weights = np.array([1, 1, 1, 1, 1, 1, 1, 7], dtype=np.float32)
+        g = star_graph(weights)
+        cfg = CSPConfig(fanout=(1,), biased=True)
+        ratios = []
+        for k in (1, 3):
+            sampler, nb = build(g, k)
+            counts = frequencies(sampler, nb, 0, cfg, trials=6000)
+            # the weight-7 edge is (8 -> 0); node 8 should get ~1/2
+            heavy = counts[8] / counts[1:9].sum()
+            ratios.append(heavy)
+            assert heavy == pytest.approx(0.5, abs=0.05)
+        assert abs(ratios[0] - ratios[1]) < 0.05
+
+    def test_partitioned_equals_single_gpu_without_replacement(self):
+        """fanout >= degree without replacement returns the exact
+        neighbourhood regardless of partitioning — determinism check."""
+        g = star_graph()
+        cfg = CSPConfig(fanout=(8,), replace=False)
+        results = []
+        for k in (1, 2, 3):
+            sampler, nb = build(g, k)
+            seed_new = int(nb.old_to_new[0])
+            owner = int(sampler.owner_of(np.array([seed_new]))[0])
+            seeds = [np.empty(0, dtype=np.int64) for _ in range(k)]
+            seeds[owner] = np.array([seed_new])
+            samples, _, _ = sampler.sample(seeds, cfg)
+            picked = nb.new_to_old[samples[owner].blocks[0].src_nodes]
+            results.append(sorted(picked.tolist()))
+        assert results[0] == results[1] == results[2] == list(range(1, 9))

@@ -1,0 +1,131 @@
+"""Tests for layer-wise sampling helpers and random walks."""
+
+import numpy as np
+import pytest
+
+from repro.graph import dcsbm_graph, metis_partition, renumber_by_partition
+from repro.sampling import (
+    CollectiveSampler,
+    layerwise_quotas,
+    layerwise_sample_noreplace,
+    random_walk,
+)
+from repro.utils import ConfigError
+
+
+@pytest.fixture(scope="module")
+def setting():
+    graph = dcsbm_graph(500, 9_000, num_communities=4, rng=11)
+    part = metis_partition(graph, 4, rng=0)
+    rgraph, _, nb = renumber_by_partition(graph, part)
+    sampler = CollectiveSampler.from_partitioned(rgraph, nb.part_offsets, seed=0)
+    rng = np.random.default_rng(5)
+    frontiers = []
+    for g in range(4):
+        lo, hi = nb.part_offsets[g], nb.part_offsets[g + 1]
+        frontiers.append(rng.choice(np.arange(lo, hi), size=15, replace=False))
+    return rgraph, sampler, frontiers
+
+
+class TestQuotas:
+    def test_sum_equals_budget(self):
+        q = layerwise_quotas(np.array([1.0, 2.0, 3.0]), 100, rng=0)
+        assert q.sum() == 100
+
+    def test_proportionality(self):
+        q = layerwise_quotas(np.array([1.0, 9.0]), 10_000, rng=0)
+        assert q[1] / q[0] == pytest.approx(9.0, rel=0.2)
+
+    def test_zero_weights(self):
+        assert layerwise_quotas(np.zeros(3), 10, rng=0).tolist() == [0, 0, 0]
+
+    def test_empty_frontier(self):
+        assert len(layerwise_quotas(np.array([]), 10, rng=0)) == 0
+
+    def test_negative_budget(self):
+        with pytest.raises(ConfigError):
+            layerwise_quotas(np.array([1.0]), -1, rng=0)
+
+
+class TestLayerwiseNoReplace:
+    def test_budget_and_distinct_edges(self, setting):
+        rgraph, sampler, frontiers = setting
+        blocks, trace = layerwise_sample_noreplace(sampler, frontiers, budget=25)
+        for b in blocks:
+            assert b.num_edges <= 25
+
+    def test_edges_are_real(self, setting):
+        rgraph, sampler, frontiers = setting
+        blocks, _ = layerwise_sample_noreplace(sampler, frontiers, budget=25)
+        for b in blocks:
+            for i, v in enumerate(b.dst_nodes):
+                assert set(b.src_of(i)) <= set(rgraph.neighbors(int(v)))
+
+    def test_small_neighborhood_takes_everything(self, setting):
+        rgraph, sampler, frontiers = setting
+        small = [f[:1] for f in frontiers]
+        blocks, _ = layerwise_sample_noreplace(sampler, small, budget=10_000)
+        deg = rgraph.degrees
+        for g, b in enumerate(blocks):
+            assert b.num_edges == int(deg[small[g][0]])
+
+    def test_response_traffic_bounded_by_budget(self, setting):
+        rgraph, sampler, frontiers = setting
+        budget = 25
+        _, trace = layerwise_sample_noreplace(sampler, frontiers, budget=budget)
+        resp = next(op for op in trace if getattr(op, "label", "") == "lw-resp")
+        k = sampler.num_gpus
+        # each GPU pair carries at most budget (node, key) pairs
+        assert resp.matrix.max() <= budget * 16
+
+    def test_frontier_count_checked(self, setting):
+        _, sampler, frontiers = setting
+        with pytest.raises(ConfigError):
+            layerwise_sample_noreplace(sampler, frontiers[:2], budget=5)
+
+
+class TestRandomWalk:
+    def test_paths_are_walks(self, setting):
+        rgraph, sampler, frontiers = setting
+        starts = [f[:8] for f in frontiers]
+        paths, trace = random_walk(sampler, starts, length=4, seed=0)
+        for g, mat in enumerate(paths):
+            assert mat.shape == (8, 5)
+            assert np.array_equal(mat[:, 0], starts[g])
+            for row in mat:
+                for t in range(4):
+                    if row[t + 1] < 0:
+                        continue
+                    assert row[t + 1] in rgraph.neighbors(int(row[t]))
+
+    def test_termination_padding(self, setting):
+        rgraph, sampler, frontiers = setting
+        starts = [f[:5] for f in frontiers]
+        paths, _ = random_walk(sampler, starts, length=3, stop_prob=0.9, seed=1)
+        # with stop_prob 0.9 most walks die early: -1 padding appears
+        all_vals = np.concatenate([p.ravel() for p in paths])
+        assert (all_vals == -1).any()
+
+    def test_dead_walk_stays_dead(self, setting):
+        rgraph, sampler, frontiers = setting
+        starts = [f[:5] for f in frontiers]
+        paths, _ = random_walk(sampler, starts, length=6, stop_prob=0.5, seed=2)
+        for mat in paths:
+            for row in mat:
+                dead = np.flatnonzero(row == -1)
+                if len(dead):
+                    assert (row[dead[0]:] == -1).all()
+
+    def test_zero_length(self, setting):
+        _, sampler, frontiers = setting
+        starts = [f[:3] for f in frontiers]
+        paths, _ = random_walk(sampler, starts, length=0, seed=0)
+        for g, mat in enumerate(paths):
+            assert mat.shape == (3, 1)
+
+    def test_bad_args(self, setting):
+        _, sampler, frontiers = setting
+        with pytest.raises(ConfigError):
+            random_walk(sampler, [f[:2] for f in frontiers], length=-1)
+        with pytest.raises(ConfigError):
+            random_walk(sampler, [f[:2] for f in frontiers], length=1, stop_prob=1.0)

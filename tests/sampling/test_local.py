@@ -1,0 +1,193 @@
+"""Tests for the local (per-patch) sampling kernels."""
+
+import numpy as np
+import pytest
+
+from repro.graph import CSRGraph, uniform_graph
+from repro.sampling import GraphPatch, sample_neighbors
+from repro.sampling.local import _ranges
+from repro.utils import ReproError
+
+
+@pytest.fixture
+def patch():
+    """10 nodes; node v has in-neighbours {0..v-1} (node 0 has none)."""
+    src, dst = [], []
+    for v in range(10):
+        for u in range(v):
+            src.append(u)
+            dst.append(v)
+    g = CSRGraph.from_edges(np.array(src), np.array(dst), num_nodes=10)
+    return GraphPatch.full(g)
+
+
+@pytest.fixture
+def wpatch():
+    """3 nodes; node 2 has neighbours 0 (weight 0) and 1 (weight 5)."""
+    g = CSRGraph.from_edges(
+        np.array([0, 1]), np.array([2, 2]), num_nodes=3,
+        edge_weights=np.array([0.0, 5.0], dtype=np.float32),
+    )
+    return GraphPatch.full(g)
+
+
+class TestRanges:
+    def test_basic(self):
+        assert _ranges(np.array([3, 2])).tolist() == [0, 1, 2, 0, 1]
+
+    def test_with_zeros(self):
+        assert _ranges(np.array([0, 2, 0, 3])).tolist() == [0, 1, 0, 1, 2]
+
+    def test_empty(self):
+        assert len(_ranges(np.array([], dtype=np.int64))) == 0
+        assert len(_ranges(np.array([0, 0]))) == 0
+
+
+class TestUniformWithReplacement:
+    def test_samples_are_neighbors(self, patch):
+        src, counts = sample_neighbors(patch, np.array([5, 9]), 4, rng=0)
+        assert counts.tolist() == [4, 4]
+        assert set(src[:4]) <= set(range(5))
+        assert set(src[4:]) <= set(range(9))
+
+    def test_zero_degree_yields_nothing(self, patch):
+        src, counts = sample_neighbors(patch, np.array([0, 3]), 2, rng=0)
+        assert counts.tolist() == [0, 2]
+        assert len(src) == 2
+
+    def test_per_task_fanout(self, patch):
+        src, counts = sample_neighbors(patch, np.array([5, 6, 7]), np.array([1, 0, 3]), rng=0)
+        assert counts.tolist() == [1, 0, 3]
+        assert len(src) == 4
+
+    def test_empty_tasks(self, patch):
+        src, counts = sample_neighbors(patch, np.array([], dtype=np.int64), 5, rng=0)
+        assert len(src) == 0 and len(counts) == 0
+
+    def test_deterministic(self, patch):
+        a, _ = sample_neighbors(patch, np.array([9] * 10), 5, rng=42)
+        b, _ = sample_neighbors(patch, np.array([9] * 10), 5, rng=42)
+        assert np.array_equal(a, b)
+
+    def test_approximately_uniform(self, patch):
+        """Over many draws each neighbour of node 9 appears ~equally."""
+        src, _ = sample_neighbors(patch, np.array([9] * 2000), 9, rng=1)
+        freq = np.bincount(src, minlength=9)
+        assert freq.min() > 0.8 * freq.mean()
+        assert freq.max() < 1.2 * freq.mean()
+
+    def test_out_of_range_task(self, patch):
+        with pytest.raises(ReproError):
+            sample_neighbors(patch, np.array([99]), 2, rng=0)
+
+    def test_negative_fanout(self, patch):
+        with pytest.raises(ReproError):
+            sample_neighbors(patch, np.array([5]), -1, rng=0)
+
+
+class TestWithoutReplacement:
+    def test_no_duplicates(self, patch):
+        for _ in range(5):
+            src, counts = sample_neighbors(
+                patch, np.array([9]), 5, rng=None, replace=False
+            )
+            assert counts[0] == 5
+            assert len(np.unique(src)) == 5
+
+    def test_degree_cap(self, patch):
+        """fanout > degree keeps the whole neighbourhood, once each."""
+        src, counts = sample_neighbors(patch, np.array([3]), 100, rng=0, replace=False)
+        assert counts[0] == 3
+        assert sorted(src.tolist()) == [0, 1, 2]
+
+    def test_mixed_tasks(self, patch):
+        src, counts = sample_neighbors(
+            patch, np.array([0, 2, 9]), 4, rng=0, replace=False
+        )
+        assert counts.tolist() == [0, 2, 4]
+        segs = np.split(src, np.cumsum(counts)[:-1])
+        assert sorted(segs[1].tolist()) == [0, 1]
+        assert len(np.unique(segs[2])) == 4
+
+    def test_uniformity(self, patch):
+        src, _ = sample_neighbors(
+            patch, np.array([9] * 3000), 3, rng=2, replace=False
+        )
+        freq = np.bincount(src, minlength=9)
+        assert freq.max() < 1.25 * freq.mean()
+
+
+class TestBiased:
+    def test_zero_weight_never_sampled(self, wpatch):
+        src, counts = sample_neighbors(
+            wpatch, np.array([2] * 500), 1, rng=0, biased=True
+        )
+        assert counts.sum() == 500
+        assert set(src.tolist()) == {1}  # weight-0 neighbour 0 excluded
+
+    def test_proportional_to_weights(self):
+        g = CSRGraph.from_edges(
+            np.array([0, 1]), np.array([2, 2]), num_nodes=3,
+            edge_weights=np.array([1.0, 3.0], dtype=np.float32),
+        )
+        p = GraphPatch.full(g)
+        src, _ = sample_neighbors(p, np.array([2] * 4000), 1, rng=3, biased=True)
+        freq = np.bincount(src, minlength=2)
+        assert freq[1] / freq[0] == pytest.approx(3.0, rel=0.15)
+
+    def test_all_zero_weights_yield_nothing(self):
+        g = CSRGraph.from_edges(
+            np.array([0]), np.array([1]), num_nodes=2,
+            edge_weights=np.array([0.0], dtype=np.float32),
+        )
+        p = GraphPatch.full(g)
+        src, counts = sample_neighbors(p, np.array([1]), 3, rng=0, biased=True)
+        assert counts.tolist() == [0]
+
+    def test_biased_needs_weights(self, patch):
+        with pytest.raises(ReproError):
+            sample_neighbors(patch, np.array([5]), 2, rng=0, biased=True)
+
+    def test_biased_without_replacement(self):
+        g = CSRGraph.from_edges(
+            np.array([0, 1, 2]), np.array([3, 3, 3]), num_nodes=4,
+            edge_weights=np.array([1.0, 1.0, 100.0], dtype=np.float32),
+        )
+        p = GraphPatch.full(g)
+        # heavy node 2 should virtually always be among 2 picks
+        hits = 0
+        for seed in range(50):
+            src, counts = sample_neighbors(
+                p, np.array([3]), 2, rng=seed, biased=True, replace=False
+            )
+            assert counts[0] == 2
+            assert len(np.unique(src)) == 2
+            hits += 2 in src
+        assert hits >= 48
+
+
+class TestGraphPatch:
+    def test_slicing(self):
+        g = uniform_graph(100, 1000, rng=0)
+        patch = GraphPatch.from_graph(g, 20, 50)
+        assert patch.base == 20
+        assert patch.num_local == 30
+        for i in range(30):
+            assert np.array_equal(
+                patch.indices[patch.indptr[i] : patch.indptr[i + 1]],
+                g.neighbors(20 + i),
+            )
+
+    def test_bad_range(self):
+        g = uniform_graph(10, 50, rng=0)
+        with pytest.raises(ReproError):
+            GraphPatch.from_graph(g, 5, 20)
+
+    def test_cum_weights_requires_weights(self):
+        g = uniform_graph(10, 50, rng=0)
+        with pytest.raises(ReproError):
+            _ = GraphPatch.full(g).cum_weights
+
+    def test_nbytes(self):
+        g = uniform_graph(10, 50, rng=0)
+        assert GraphPatch.full(g).nbytes > 0

@@ -1,0 +1,74 @@
+"""Tests for node2vec second-order walks."""
+
+import numpy as np
+import pytest
+
+from repro.graph import dcsbm_graph, metis_partition, renumber_by_partition
+from repro.sampling import CollectiveSampler, node2vec_walk
+from repro.sampling.ops import AllToAll
+from repro.utils import ConfigError
+
+
+@pytest.fixture(scope="module")
+def setting():
+    graph = dcsbm_graph(300, 6000, num_communities=4, rng=2)
+    part = metis_partition(graph, 4, rng=0)
+    rgraph, _, nb = renumber_by_partition(graph, part)
+    sampler = CollectiveSampler.from_partitioned(rgraph, nb.part_offsets, seed=0)
+    rng = np.random.default_rng(4)
+    starts = []
+    for g in range(4):
+        lo, hi = nb.part_offsets[g], nb.part_offsets[g + 1]
+        starts.append(rng.integers(lo, hi, size=6))
+    return rgraph, sampler, starts
+
+
+class TestNode2Vec:
+    def test_paths_are_walks(self, setting):
+        rgraph, sampler, starts = setting
+        paths, _ = node2vec_walk(sampler, starts, length=4, p=2.0, q=0.5, seed=0)
+        for g, mat in enumerate(paths):
+            assert np.array_equal(mat[:, 0], starts[g])
+            for row in mat:
+                for t in range(4):
+                    if row[t + 1] < 0:
+                        break
+                    assert row[t + 1] in rgraph.neighbors(int(row[t]))
+
+    def test_low_p_encourages_backtracking(self, setting):
+        """p << 1 makes returning to the predecessor much more likely."""
+        rgraph, sampler, starts = setting
+
+        def backtrack_rate(p):
+            total = back = 0
+            for seed in range(6):
+                paths, _ = node2vec_walk(
+                    sampler, starts, length=6, p=p, q=1.0, seed=seed
+                )
+                for mat in paths:
+                    for row in mat:
+                        for t in range(1, 5):
+                            if row[t + 1] < 0:
+                                break
+                            total += 1
+                            back += int(row[t + 1] == row[t - 1])
+            return back / max(total, 1)
+
+        assert backtrack_rate(0.05) > 2.5 * backtrack_rate(20.0)
+
+    def test_trace_has_query_traffic(self, setting):
+        _, sampler, starts = setting
+        _, trace = node2vec_walk(sampler, starts, length=3, seed=1)
+        queries = [op for op in trace
+                   if isinstance(op, AllToAll) and "query" in op.label]
+        assert queries
+        assert sum(op.matrix.sum() for op in queries) > 0
+
+    def test_validation(self, setting):
+        _, sampler, starts = setting
+        with pytest.raises(ConfigError):
+            node2vec_walk(sampler, starts, length=-1)
+        with pytest.raises(ConfigError):
+            node2vec_walk(sampler, starts, length=2, p=0)
+        with pytest.raises(ConfigError):
+            node2vec_walk(sampler, starts[:2], length=2)

@@ -1,0 +1,69 @@
+"""Tests for the op-trace vocabulary."""
+
+import numpy as np
+import pytest
+
+from repro.sampling.ops import (
+    AllReduce,
+    AllToAll,
+    HostWork,
+    LocalKernel,
+    NetworkTransfer,
+    OpTrace,
+    Overhead,
+    ParallelGroup,
+    PCIeCopy,
+    UVAGather,
+)
+
+
+class TestOpTrace:
+    def test_add_extend_iter(self):
+        a, b = OpTrace(), OpTrace()
+        a.add(Overhead(0.1))
+        b.add(Overhead(0.2))
+        b.add(Overhead(0.3))
+        a.extend(b)
+        assert len(a) == 3
+        assert [op.seconds for op in a] == [0.1, 0.2, 0.3]
+
+    def test_nvlink_payload_excludes_diagonal(self):
+        t = OpTrace()
+        m = np.full((3, 3), 10.0)
+        t.add(AllToAll(m))
+        assert t.nvlink_payload_bytes() == pytest.approx(60.0)
+
+    def test_flat_ops_walks_parallel_branches(self):
+        t = OpTrace()
+        inner1 = AllToAll(np.zeros((2, 2)))
+        inner2 = UVAGather(np.array([3.0, 0.0]), item_bytes=8)
+        t.add(ParallelGroup(branches=((inner1,), (inner2,))))
+        flat = list(t.flat_ops())
+        assert inner1 in flat and inner2 in flat
+
+    def test_uva_accounting(self):
+        t = OpTrace()
+        t.add(UVAGather(np.array([10.0, 5.0]), item_bytes=8))
+        assert t.uva_payload_bytes() == pytest.approx(15 * 8)
+        assert t.uva_wire_bytes() == pytest.approx(15 * 50)
+
+    def test_uva_wire_rounds_packets_up(self):
+        t = OpTrace()
+        t.add(UVAGather(np.array([1.0]), item_bytes=33))  # 2 packets
+        assert t.uva_wire_bytes() == pytest.approx(100)
+
+    def test_pcie_bulk_bytes(self):
+        t = OpTrace()
+        t.add(PCIeCopy(np.array([100.0, 200.0])))
+        assert t.pcie_bulk_bytes() == pytest.approx(300.0)
+
+    def test_mixed_trace_accounting(self):
+        t = OpTrace()
+        t.add(AllToAll(np.array([[0.0, 7.0], [3.0, 0.0]])))
+        t.add(LocalKernel("sample", np.array([5.0, 5.0])))
+        t.add(HostWork(np.array([1.0, 1.0])))
+        t.add(AllReduce(nbytes=64))
+        t.add(NetworkTransfer(np.zeros((2, 2))))
+        assert t.nvlink_payload_bytes() == pytest.approx(10.0)
+        assert t.uva_payload_bytes() == 0
+        assert len(t) == 5

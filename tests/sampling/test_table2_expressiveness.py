@@ -1,0 +1,82 @@
+"""Table 2: CSP expressiveness — every configurable combination runs.
+
+The paper's Table 2 lists CSP's parameters (Seed, Scheme, Layer,
+IsBiased, FanOut).  This test sweeps the full grid on a partitioned
+graph and checks the structural contract of each combination.
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.graph import dcsbm_graph, metis_partition, renumber_by_partition
+from repro.sampling import CollectiveSampler, CSPConfig
+
+
+@pytest.fixture(scope="module")
+def setting():
+    graph = dcsbm_graph(500, 10_000, num_communities=4, rng=13)
+    rng = np.random.default_rng(1)
+    graph = graph.with_node_weights(rng.random(graph.num_nodes).astype(np.float32))
+    part = metis_partition(graph, 4, rng=0)
+    rgraph, _, nb = renumber_by_partition(graph, part)
+    sampler = CollectiveSampler.from_partitioned(rgraph, nb.part_offsets, seed=0)
+    seeds = []
+    srng = np.random.default_rng(2)
+    for g in range(4):
+        lo, hi = nb.part_offsets[g], nb.part_offsets[g + 1]
+        seeds.append(srng.integers(lo, hi, size=12))
+    return rgraph, sampler, seeds
+
+
+GRID = list(itertools.product(
+    ("node", "layer"),          # Scheme
+    (1, 2),                     # Layer count
+    (False, True),              # IsBiased
+    (True, False),              # with / without replacement
+))
+
+
+@pytest.mark.parametrize("scheme,layers,biased,replace", GRID)
+def test_table2_grid(setting, scheme, layers, biased, replace):
+    rgraph, sampler, seeds = setting
+    fanout = tuple([4] * layers) if scheme == "node" else tuple([25] * layers)
+    cfg = CSPConfig(fanout=fanout, scheme=scheme, biased=biased,
+                    replace=replace)
+    samples, trace, stats = sampler.sample(seeds, cfg)
+
+    assert len(samples) == 4
+    assert stats.tasks_total > 0
+    deg = rgraph.degrees
+    for g, s in enumerate(samples):
+        assert s.num_layers == layers
+        assert np.array_equal(s.blocks[0].dst_nodes, seeds[g])
+        for block in s.blocks:
+            counts = np.diff(block.offsets)
+            if scheme == "node":
+                # per-node fan-out bound (exact when replace & deg > 0)
+                for i, v in enumerate(block.dst_nodes):
+                    cap = fanout[0] if replace else min(fanout[0], deg[v])
+                    assert counts[i] <= max(cap, fanout[0])
+            else:
+                # layer-wise: the whole layer respects the budget
+                assert block.num_edges <= fanout[0]
+            # sampled nodes are genuine neighbours
+            for i in range(min(block.num_dst, 5)):
+                v = int(block.dst_nodes[i])
+                assert set(block.src_of(i)) <= set(rgraph.neighbors(v))
+            if not replace:
+                for i in range(block.num_dst):
+                    seg = block.src_of(i)
+                    assert len(np.unique(seg)) == len(seg)
+
+
+def test_random_walk_is_fanout1_special_case(setting):
+    """§4.2: random walk == node-wise CSP with fan-out 1 per layer."""
+    rgraph, sampler, seeds = setting
+    cfg = CSPConfig(fanout=(1, 1, 1))
+    samples, _, _ = sampler.sample(seeds, cfg)
+    for s in samples:
+        for block in s.blocks:
+            assert (np.diff(block.offsets) <= 1).all()

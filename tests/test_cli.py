@@ -1,0 +1,51 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+ARGS = ["--dataset", "tiny", "--gpus", "2", "--hidden", "16",
+        "--batch-size", "8", "--fanout", "5,3"]
+
+
+class TestCLI:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "products" in out and "NVLink" in out
+
+    def test_train(self, capsys):
+        assert main(["train", *ARGS, "--epochs", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "epoch time" in out
+
+    def test_train_cost_only_json(self, capsys):
+        assert main(["train", *ARGS, "--epochs", "1",
+                     "--cost-only", "--json"]) == 0
+        out = capsys.readouterr().out
+        payload = json.loads(out[out.index("["):])
+        assert payload[0]["epoch_time"] > 0
+        assert payload[0]["loss"] is None  # cost-only: no training
+
+    def test_compare_subset(self, capsys):
+        assert main(["compare", *ARGS, "--systems", "DSP,DGL-UVA",
+                     "--batches", "2", "--json"]) == 0
+        out = capsys.readouterr().out
+        payload = json.loads(out[out.index("{"):])
+        assert set(payload) == {"DSP", "DGL-UVA"}
+
+    def test_infer(self, capsys):
+        assert main(["infer", *ARGS, "--epochs", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "full-graph inference" in out
+
+    def test_parser_rejects_unknown_system(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["train", "--system", "magic"])
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])

@@ -1,0 +1,41 @@
+"""Smoke test: the quickstart example must stay runnable.
+
+The heavier domain examples (compare_systems, capacity_planning, ...)
+exercise paths already covered by the benchmark suite and take minutes,
+so only the quickstart runs here.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[1] / "examples"
+
+
+def test_quickstart_runs(capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", ["quickstart.py"])
+    runpy.run_path(str(EXAMPLES / "quickstart.py"), run_name="__main__")
+    out = capsys.readouterr().out
+    assert "epoch" in out
+    assert "NVLink" in out
+
+
+def test_all_examples_importable():
+    """Every example parses and imports (no stale APIs)."""
+    import ast
+
+    for path in sorted(EXAMPLES.glob("*.py")):
+        source = path.read_text()
+        tree = ast.parse(source)
+        # must define main() and guard execution
+        names = {n.name for n in ast.walk(tree) if isinstance(n, ast.FunctionDef)}
+        assert "main" in names, f"{path.name} lacks main()"
+        assert "__main__" in source, f"{path.name} lacks a __main__ guard"
+
+
+def test_examples_have_docstrings():
+    for path in sorted(EXAMPLES.glob("*.py")):
+        first = path.read_text().lstrip()
+        assert first.startswith('"""'), f"{path.name} lacks a docstring"

@@ -1,0 +1,215 @@
+"""Property-based tests (hypothesis) for core invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graph import (
+    CSRGraph,
+    Partition,
+    hash_partition,
+    metis_partition,
+    renumber_by_partition,
+    uniform_graph,
+)
+from repro.nn import Tensor, functional as F
+from repro.sampling import GraphPatch, sample_neighbors
+from repro.sampling.local import _ranges
+from repro.cache.store import PartitionedCache, Placement
+
+# ----------------------------------------------------------------------
+# strategies
+# ----------------------------------------------------------------------
+@st.composite
+def edge_lists(draw, max_nodes=30, max_edges=120):
+    n = draw(st.integers(2, max_nodes))
+    m = draw(st.integers(0, max_edges))
+    src = draw(st.lists(st.integers(0, n - 1), min_size=m, max_size=m))
+    dst = draw(st.lists(st.integers(0, n - 1), min_size=m, max_size=m))
+    return n, np.array(src, dtype=np.int64), np.array(dst, dtype=np.int64)
+
+
+@st.composite
+def graphs(draw):
+    n, src, dst = draw(edge_lists())
+    return CSRGraph.from_edges(src, dst, num_nodes=n)
+
+
+# ----------------------------------------------------------------------
+# CSR invariants
+# ----------------------------------------------------------------------
+class TestCSRProperties:
+    @given(edge_lists())
+    @settings(max_examples=60)
+    def test_from_edges_invariants(self, data):
+        n, src, dst = data
+        g = CSRGraph.from_edges(src, dst, num_nodes=n)
+        assert g.indptr[0] == 0
+        assert g.indptr[-1] == g.num_edges
+        assert (np.diff(g.indptr) >= 0).all()
+        assert g.num_edges <= len(src)  # dedup only removes
+        if g.num_edges:
+            assert 0 <= g.indices.min() and g.indices.max() < n
+        # every deduplicated input edge is present
+        for u, v in set(zip(src.tolist(), dst.tolist())):
+            assert u in g.neighbors(v)
+
+    @given(graphs())
+    @settings(max_examples=40)
+    def test_reverse_is_involution(self, g):
+        rr = g.reverse().reverse()
+        assert np.array_equal(rr.indptr, g.indptr)
+        assert np.array_equal(np.sort(rr.indices), np.sort(g.indices))
+
+    @given(graphs(), st.integers(0, 2**31 - 1))
+    @settings(max_examples=40)
+    def test_permute_preserves_degrees(self, g, seed):
+        perm = np.random.default_rng(seed).permutation(g.num_nodes)
+        p = g.permute(perm)
+        assert np.array_equal(np.sort(p.degrees), np.sort(g.degrees))
+
+
+# ----------------------------------------------------------------------
+# partitioning
+# ----------------------------------------------------------------------
+class TestPartitionProperties:
+    @given(graphs(), st.integers(1, 4), st.integers(0, 1000))
+    @settings(max_examples=30, deadline=None)
+    def test_metis_is_total_assignment(self, g, k, seed):
+        if k > g.num_nodes:
+            k = g.num_nodes
+        p = metis_partition(g, k, rng=seed)
+        assert p.num_nodes == g.num_nodes
+        assert p.assignment.min() >= 0
+        assert p.assignment.max() < k
+
+    @given(st.integers(1, 200), st.integers(1, 8))
+    @settings(max_examples=40)
+    def test_hash_partition_balance(self, n, k):
+        if k > n:
+            k = n
+        sizes = hash_partition(n, k).part_sizes
+        assert sizes.sum() == n
+        assert sizes.max() - sizes.min() <= 1
+
+    @given(graphs(), st.integers(1, 4), st.integers(0, 100))
+    @settings(max_examples=25, deadline=None)
+    def test_renumber_roundtrip(self, g, k, seed):
+        if k > g.num_nodes:
+            k = g.num_nodes
+        part = hash_partition(g.num_nodes, k, seed=seed)
+        _, _, nb = renumber_by_partition(g, part)
+        ids = np.arange(g.num_nodes)
+        assert np.array_equal(nb.old_to_new[nb.new_to_old], ids)
+        # ownership agrees with the original partition
+        assert np.array_equal(
+            nb.owner_of(nb.old_to_new), part.assignment
+        )
+
+
+# ----------------------------------------------------------------------
+# sampling
+# ----------------------------------------------------------------------
+class TestSamplerProperties:
+    @given(graphs(), st.integers(0, 8), st.booleans(), st.integers(0, 500))
+    @settings(max_examples=50, deadline=None)
+    def test_samples_always_valid(self, g, fanout, replace, seed):
+        patch = GraphPatch.full(g)
+        tasks = np.arange(g.num_nodes, dtype=np.int64)
+        src, counts = sample_neighbors(
+            patch, tasks, fanout, rng=seed, replace=replace
+        )
+        assert counts.sum() == len(src)
+        offsets = np.concatenate([[0], np.cumsum(counts)])
+        deg = g.degrees
+        for i, v in enumerate(tasks):
+            seg = src[offsets[i] : offsets[i + 1]]
+            assert set(seg.tolist()) <= set(g.neighbors(int(v)).tolist())
+            if replace:
+                assert counts[i] == (fanout if deg[v] > 0 else 0)
+            else:
+                assert counts[i] == min(fanout, deg[v])
+                assert len(np.unique(seg)) == len(seg)
+
+    @given(st.lists(st.integers(0, 9), min_size=0, max_size=30))
+    @settings(max_examples=60)
+    def test_ranges_matches_reference(self, sizes):
+        sizes = np.array(sizes, dtype=np.int64)
+        expect = np.concatenate(
+            [np.arange(s) for s in sizes] or [np.empty(0, dtype=np.int64)]
+        )
+        assert np.array_equal(_ranges(sizes), expect)
+
+
+# ----------------------------------------------------------------------
+# cache placement
+# ----------------------------------------------------------------------
+class TestCacheProperties:
+    @given(st.integers(2, 6), st.integers(0, 40), st.integers(0, 99))
+    @settings(max_examples=40)
+    def test_placement_partitions_requests(self, k, budget, seed):
+        rng = np.random.default_rng(seed)
+        n = 12 * k
+        offsets = np.arange(k + 1) * 12
+        hot = rng.permutation(n)
+        store = PartitionedCache(offsets, hot, budget)
+        req = rng.integers(0, n, size=30)
+        for gpu in range(k):
+            loc = store.locate(req, gpu)
+            assert (
+                loc.count(Placement.LOCAL)
+                + loc.count(Placement.REMOTE)
+                + loc.count(Placement.COLD)
+                == len(req)
+            )
+            # LOCAL nodes must be owned by the requester
+            local = req[loc.placement == Placement.LOCAL]
+            assert all(offsets[gpu] <= v < offsets[gpu + 1] for v in local)
+            # holders of REMOTE nodes are valid other GPUs
+            rem = loc.holder[loc.placement == Placement.REMOTE]
+            assert all(0 <= h < k and h != gpu for h in rem)
+
+
+# ----------------------------------------------------------------------
+# autograd
+# ----------------------------------------------------------------------
+class TestAutogradProperties:
+    @given(
+        st.integers(1, 5), st.integers(1, 5), st.integers(1, 4),
+        st.integers(0, 10_000),
+    )
+    @settings(max_examples=40)
+    def test_matmul_grad_matches_numeric(self, n, m, p, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.normal(size=(n, m)).astype(np.float32)
+        b = rng.normal(size=(m, p)).astype(np.float32)
+        ta = Tensor(a, requires_grad=True)
+        (ta @ Tensor(b)).sum().backward()
+        # d/dA sum(A@B) = row-broadcast of B's row sums
+        expect = np.tile(b.sum(axis=1), (n, 1))
+        np.testing.assert_allclose(ta.grad, expect, rtol=1e-4, atol=1e-5)
+
+    @given(st.integers(1, 30), st.integers(1, 6), st.integers(0, 10_000))
+    @settings(max_examples=40)
+    def test_segment_mean_weighted_grad_sums_to_weights(self, rows, segs, seed):
+        rng = np.random.default_rng(seed)
+        seg = rng.integers(0, segs, size=rows)
+        x = Tensor(rng.normal(size=(rows, 2)).astype(np.float32),
+                   requires_grad=True)
+        out = F.segment_mean(x, seg, segs)
+        out.sum().backward()
+        # rows in the same segment share identical gradient 1/|segment|
+        counts = np.bincount(seg, minlength=segs)
+        for i in range(rows):
+            np.testing.assert_allclose(
+                x.grad[i], 1.0 / counts[seg[i]], rtol=1e-5
+            )
+
+    @given(st.integers(1, 20), st.integers(0, 10_000))
+    @settings(max_examples=40)
+    def test_softmax_rows_are_distributions(self, rows, seed):
+        rng = np.random.default_rng(seed)
+        x = Tensor(rng.normal(scale=5, size=(rows, 7)).astype(np.float32))
+        p = np.exp(F.log_softmax(x).data)
+        np.testing.assert_allclose(p.sum(axis=1), 1.0, rtol=1e-4)
+        assert (p >= 0).all()

@@ -1,0 +1,101 @@
+"""Tests for the utils package."""
+
+import numpy as np
+import pytest
+
+from repro.utils import (
+    DeadlockError,
+    GB,
+    KB,
+    MB,
+    fmt_bytes,
+    fmt_time,
+    make_rng,
+    spawn_rngs,
+)
+
+
+class TestUnits:
+    def test_constants(self):
+        assert KB == 1024 and MB == 1024 * KB and GB == 1024 * MB
+
+    @pytest.mark.parametrize("n,expect", [
+        (0, "0.00 B"),
+        (512, "512.00 B"),
+        (2048, "2.00 KiB"),
+        (3 * MB, "3.00 MiB"),
+        (5 * GB, "5.00 GiB"),
+    ])
+    def test_fmt_bytes(self, n, expect):
+        assert fmt_bytes(n) == expect
+
+    @pytest.mark.parametrize("t,expect", [
+        (5e-7, "0.50 us"),
+        (2.5e-3, "2.50 ms"),
+        (1.5, "1.50 s"),
+        (300, "5.00 min"),
+    ])
+    def test_fmt_time(self, t, expect):
+        assert fmt_time(t) == expect
+
+    def test_fmt_time_negative(self):
+        assert fmt_time(-1.5) == "-1.50 s"
+
+
+class TestRng:
+    def test_make_rng_passthrough(self):
+        rng = np.random.default_rng(0)
+        assert make_rng(rng) is rng
+
+    def test_make_rng_seeded_deterministic(self):
+        assert make_rng(7).random() == make_rng(7).random()
+
+    def test_spawn_independent(self):
+        children = spawn_rngs(make_rng(0), 3)
+        vals = [c.random() for c in children]
+        assert len(set(vals)) == 3
+
+    def test_spawn_deterministic(self):
+        a = [r.random() for r in spawn_rngs(make_rng(1), 2)]
+        b = [r.random() for r in spawn_rngs(make_rng(1), 2)]
+        assert a == b
+
+    def test_spawn_negative_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(make_rng(0), -1)
+
+
+class TestErrors:
+    def test_deadlock_error_carries_waiting(self):
+        err = DeadlockError("stuck", waiting={"a": "x"})
+        assert err.waiting == {"a": "x"}
+        assert "stuck" in str(err)
+
+    def test_deadlock_error_default_waiting(self):
+        assert DeadlockError("x").waiting == {}
+
+
+class TestBenchHarness:
+    def test_fmt_table_formats(self):
+        from repro.bench import fmt_table
+
+        out = fmt_table("Title", ["a", "b"], [("row", [1.23456, "x"])],
+                        unit="ms")
+        assert "Title (ms)" in out
+        assert "1.23" in out and "x" in out
+
+    def test_fmt_table_none_cell(self):
+        from repro.bench import fmt_table
+
+        out = fmt_table("T", ["a"], [("r", [None])])
+        assert "-" in out
+
+    def test_quick_mode_env(self, monkeypatch):
+        from repro.bench import quick_mode
+
+        monkeypatch.delenv("REPRO_BENCH_QUICK", raising=False)
+        assert not quick_mode()
+        monkeypatch.setenv("REPRO_BENCH_QUICK", "1")
+        assert quick_mode()
+        monkeypatch.setenv("REPRO_BENCH_QUICK", "0")
+        assert not quick_mode()
