@@ -55,7 +55,9 @@ class FeatureLoader:
 
         Returns per-GPU feature matrices (functionally exact), the op
         trace, and hit-statistics
-        ``{"local": n, "remote": n, "cold": n}``.
+        ``{"local": n, "remote": n, "cold": n}`` plus the payload bytes
+        each path served (``*_bytes`` keys; the obs layer exports them
+        as cache counters).
         """
         k = self.store.num_gpus
         if len(requests_per_gpu) != k:
@@ -100,6 +102,9 @@ class FeatureLoader:
             ParallelGroup(branches=(tuple(hot_branch), tuple(cold_branch)),
                           label="feature-load")
         )
+        stats["local_bytes"] = stats["local"] * self.row_bytes
+        stats["remote_bytes"] = stats["remote"] * self.row_bytes
+        stats["cold_bytes"] = stats["cold"] * self.row_bytes
         return out, trace, stats
 
 
@@ -131,4 +136,6 @@ class HostGatherLoader:
         trace = OpTrace()
         trace.add(HostWork(nbytes.copy(), kind="gather", label="feat-host-gather"))
         trace.add(PCIeCopy(nbytes, to_device=True, label="feat-h2d"))
-        return out, trace, {"local": 0, "remote": 0, "cold": total}
+        return out, trace, {"local": 0, "remote": 0, "cold": total,
+                            "local_bytes": 0, "remote_bytes": 0,
+                            "cold_bytes": total * self.row_bytes}

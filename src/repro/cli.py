@@ -6,6 +6,7 @@ Commands
 ``compare``  run several systems on one workload (Table 4 style)
 ``info``     show datasets, systems and the simulated hardware
 ``infer``    train then run distributed full-graph inference
+``trace``    run one traced epoch; write a Chrome trace, print stalls
 """
 
 from __future__ import annotations
@@ -16,6 +17,7 @@ import sys
 
 from repro.bench.harness import TABLE_SYSTEMS
 from repro.core import RunConfig, SYSTEMS, build_system
+from repro.core.metrics import scrub_nan
 from repro.graph import DATASET_SPECS
 from repro.utils import fmt_bytes, fmt_time
 
@@ -58,9 +60,8 @@ def cmd_train(args) -> int:
         print(f"{epoch:>5} {m.loss:>9.4f} {m.val_accuracy:>8.2%} "
               f"{fmt_time(m.epoch_time):>12} {fmt_bytes(m.nvlink_bytes):>10} "
               f"{fmt_bytes(m.pcie_bytes):>10}")
-    if args.json:
-        json.dump([_metrics_dict(m) for m in rows], sys.stdout, indent=2)
-        print()
+    if args.json or args.out:
+        _emit_json([_metrics_dict(m) for m in rows], args)
     return 0
 
 
@@ -79,10 +80,8 @@ def cmd_compare(args) -> int:
         print(f"{name:<10} {fmt_time(m.epoch_time):>12} "
               f"{fmt_time(m.sample_time):>12} {fmt_time(m.load_time):>12} "
               f"{fmt_time(m.train_time):>12}")
-    if args.json:
-        json.dump({n: _metrics_dict(m) for n, m in out.items()},
-                  sys.stdout, indent=2)
-        print()
+    if args.json or args.out:
+        _emit_json({n: _metrics_dict(m) for n, m in out.items()}, args)
     return 0
 
 
@@ -123,21 +122,82 @@ def cmd_infer(args) -> int:
     return 0
 
 
+def cmd_trace(args) -> int:
+    """``repro trace``: one traced epoch -> Chrome trace + stall report.
+
+    Runs the system cost-only with a :class:`repro.obs.Tracer`
+    attached, writes the Chrome trace-event JSON (open it in Perfetto
+    or ``chrome://tracing``), optionally a plain-text timeline, and
+    prints the per-GPU busy/stall breakdown and the epoch's critical
+    path (see ``docs/observability.md``).
+    """
+    from repro.obs import (
+        Tracer,
+        critical_path,
+        format_breakdown,
+        format_critical_path,
+        stall_breakdown,
+        to_text,
+        write_chrome_trace,
+    )
+    from repro.utils import DeadlockError
+
+    cfg = _config(args)
+    system = build_system(args.system, cfg)
+    tracer = Tracer()
+    deadlock = None
+    try:
+        system.run_epoch(max_batches=args.batches, functional=False,
+                         tracer=tracer)
+    except DeadlockError as err:
+        deadlock = err  # the trace up to the deadlock is still valid
+    write_chrome_trace(tracer, args.out)
+    print(f"wrote {args.out} ({len(tracer)} events; load in Perfetto or "
+          "chrome://tracing)")
+    if args.text:
+        with open(args.text, "w") as f:
+            f.write(to_text(tracer))
+        print(f"wrote {args.text}")
+
+    total = tracer.end_time()
+    print(f"\n{args.system} on {args.dataset}, {args.gpus} GPU(s), "
+          f"{args.batches} batch(es), {total:.6f}s simulated")
+    print(format_breakdown(stall_breakdown(tracer, total, args.gpus), total))
+    print()
+    print(format_critical_path(critical_path(tracer)))
+    if deadlock is not None:
+        stuck = [ev for ev in tracer.spans() if ev.args.get("unresolved")]
+        print(f"\nDEADLOCK after {total:.6f}s — {len(stuck)} unresolved "
+              "stall span(s):")
+        for ev in sorted(stuck, key=lambda e: e.track):
+            print(f"  {ev.track:<20} {ev.cat:<16} {ev.name} "
+                  f"(blocked since {ev.start:.6f}s)")
+        print(f"cause: {deadlock}")
+        return 1
+    return 0
+
+
+_METRIC_KEYS = (
+    "epoch_time", "sample_time", "load_time", "train_time",
+    "nvlink_bytes", "pcie_bytes", "network_bytes",
+    "loss", "val_accuracy", "utilization", "num_batches",
+)
+
+
 def _metrics_dict(m) -> dict:
-    return {
-        "epoch_time": m.epoch_time,
-        "sample_time": m.sample_time,
-        "load_time": m.load_time,
-        "train_time": m.train_time,
-        "nvlink_bytes": m.nvlink_bytes,
-        "pcie_bytes": m.pcie_bytes,
-        "network_bytes": m.network_bytes,
-        "loss": None if m.loss != m.loss else m.loss,
-        "val_accuracy": None if m.val_accuracy != m.val_accuracy
-        else m.val_accuracy,
-        "utilization": m.utilization,
-        "num_batches": m.num_batches,
-    }
+    return {key: scrub_nan(getattr(m, key)) for key in _METRIC_KEYS}
+
+
+def _emit_json(payload, args) -> None:
+    """Write ``payload`` to ``--out`` when given, else to stdout."""
+    if getattr(args, "out", None):
+        with open(args.out, "w") as f:
+            json.dump(payload, f, indent=2)
+            f.write("\n")
+        print(f"wrote {args.out}")
+    else:
+        json.dump(payload, sys.stdout, indent=2)
+        print()
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -154,6 +214,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cost-only", action="store_true",
                    help="skip numpy training, keep cost accounting")
     p.add_argument("--json", action="store_true")
+    p.add_argument("--out", metavar="PATH",
+                   help="write the JSON metrics to PATH instead of stdout")
     p.set_defaults(func=cmd_train)
 
     p = sub.add_parser("compare", help="compare systems on one workload")
@@ -162,7 +224,22 @@ def build_parser() -> argparse.ArgumentParser:
                    help="comma-separated subset (default: all five)")
     p.add_argument("--batches", type=int, default=6)
     p.add_argument("--json", action="store_true")
+    p.add_argument("--out", metavar="PATH",
+                   help="write the JSON metrics to PATH instead of stdout")
     p.set_defaults(func=cmd_compare)
+
+    p = sub.add_parser(
+        "trace", help="traced epoch: Chrome trace + stall breakdown"
+    )
+    _add_workload_args(p)
+    p.add_argument("--system", default="DSP", choices=sorted(SYSTEMS))
+    p.add_argument("--batches", type=int, default=4,
+                   help="mini-batches to trace (default 4)")
+    p.add_argument("--out", metavar="PATH", default="trace.json",
+                   help="Chrome trace-event JSON path (default trace.json)")
+    p.add_argument("--text", metavar="PATH", default=None,
+                   help="also write a plain-text timeline to PATH")
+    p.set_defaults(func=cmd_trace)
 
     p = sub.add_parser("info", help="datasets / systems / hardware model")
     p.set_defaults(func=cmd_info)

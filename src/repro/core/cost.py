@@ -62,6 +62,12 @@ class OpCost:
     uva_payload: float = 0.0
     network_bytes: float = 0.0
 
+    def link_bytes(self) -> dict:
+        """Wire bytes per link class (cluster-wide totals for this op),
+        keyed by :data:`repro.hw.comm.LINK_CLASSES`."""
+        return {"nvlink": self.nvlink_bytes, "pcie": self.pcie_bytes,
+                "network": self.network_bytes}
+
 
 #: SM threads an NCCL-style communication kernel occupies (paper §5:
 #: "only need a small number of threads to fully utilize NVLink")

@@ -2,9 +2,21 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 
 import numpy as np
+
+
+def scrub_nan(value):
+    """JSON-safe copy of ``value``: NaN floats become None, recursively
+    through dicts and lists/tuples (JSON has no NaN literal)."""
+    if isinstance(value, float) and value != value:
+        return None
+    if isinstance(value, dict):
+        return {k: scrub_nan(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [scrub_nan(v) for v in value]
+    return value
 
 
 @dataclass
@@ -23,14 +35,10 @@ class BatchCost:
         return self.sample_time + self.load_time + self.train_time
 
     def __add__(self, other: "BatchCost") -> "BatchCost":
-        return BatchCost(
-            sample_time=self.sample_time + other.sample_time,
-            load_time=self.load_time + other.load_time,
-            train_time=self.train_time + other.train_time,
-            nvlink_bytes=self.nvlink_bytes + other.nvlink_bytes,
-            pcie_bytes=self.pcie_bytes + other.pcie_bytes,
-            uva_payload_bytes=self.uva_payload_bytes + other.uva_payload_bytes,
-        )
+        return BatchCost(**{
+            f.name: getattr(self, f.name) + getattr(other, f.name)
+            for f in fields(self)
+        })
 
 
 @dataclass
@@ -99,13 +107,8 @@ class RunResult:
         """JSON string; also written to ``path`` when given."""
         import json
 
-        def clean(v):
-            return None if isinstance(v, float) and v != v else v
-
         payload = self.to_dict()
-        payload["epochs"] = [
-            {k: clean(v) for k, v in row.items()} for row in payload["epochs"]
-        ]
+        payload["epochs"] = [scrub_nan(row) for row in payload["epochs"]]
         text = json.dumps(payload, indent=2)
         if path is not None:
             with open(path, "w") as f:

@@ -139,7 +139,7 @@ class MultiMachineDSP(DSP):
             trace.add(NetworkTransfer(ring, label="grad-network-ring"))
         return trace, loss, acc
 
-    def run_epoch(self, max_batches=None, functional=True):
+    def run_epoch(self, max_batches=None, functional=True, tracer=None):
         """Functionally, the other machines' replicas mirror machine 0.
 
         Machine 0 trains on its slice of each global batch; because the
@@ -150,7 +150,7 @@ class MultiMachineDSP(DSP):
         The cost side fully accounts for every machine's communication.
         """
         metrics = super().run_epoch(max_batches=max_batches,
-                                    functional=functional)
+                                    functional=functional, tracer=tracer)
         if functional:
             # keep remote replicas identical to machine 0 (BSP)
             state = self.models[0].state()

@@ -45,6 +45,7 @@ class PipelineResult:
     epoch_time: float
     utilization: float  # mean thread-weighted occupancy across GPUs
     busy_fraction: float  # mean any-kernel-resident fraction
+    per_gpu_busy: tuple = ()  # per-GPU any-kernel-resident fractions
 
 
 class PipelineRunner:
@@ -60,6 +61,8 @@ class PipelineRunner:
         sequential: bool = False,
         sampler_workers: int = 1,
         loader_workers: int = 1,
+        tracer=None,
+        batch_info: list | None = None,
     ):
         """``batches[t]`` maps stage name -> list of OpCost for batch t.
 
@@ -72,12 +75,23 @@ class PipelineRunner:
         multiple worker instances striped over mini-batches (the
         multi-instance alternative of §5; the trainer stays single to
         preserve BSP, consuming batches in order).
+
+        ``tracer`` (a :class:`repro.obs.Tracer`) records the full
+        timeline: one span per op tagged ``(gpu, stage, batch,
+        collective)``, wait spans for every blocked primitive, SM and
+        queue-depth counters, cumulative per-link byte counters and —
+        when ``batch_info`` supplies per-batch annotations such as
+        ``{"cache": {...}}`` — cumulative cache hit/miss counters at
+        the simulated time each batch's load stage completes.  With
+        ``tracer=None`` no event objects are allocated at all.
         """
         for b in batches:
             if set(b) != set(STAGES):
                 raise ConfigError(f"each batch needs stages {STAGES}")
         if sampler_workers < 1 or loader_workers < 1:
             raise ConfigError("need at least one worker per stage")
+        if batch_info is not None and len(batch_info) != len(batches):
+            raise ConfigError("batch_info must align with batches")
         self.cluster = cluster
         self.batches = batches
         self.queue_capacity = queue_capacity
@@ -86,12 +100,15 @@ class PipelineRunner:
         self.sequential = sequential
         self.sampler_workers = sampler_workers
         self.loader_workers = loader_workers
+        self.tracer = tracer
+        self.batch_info = batch_info
 
     # ------------------------------------------------------------------
     def run(self) -> PipelineResult:
         """Simulate the epoch; returns wall time and GPU utilization."""
         k = self.cluster.num_gpus
-        sim = Simulator()
+        tracer = self.tracer
+        sim = Simulator(tracer=tracer)
         threads = [
             Resource(sim, self.cluster.gpu.total_threads, name=f"gpu{g}-sm")
             for g in range(k)
@@ -103,10 +120,48 @@ class PipelineRunner:
         barrier = Rendezvous(sim, name="collective")
         gate = LaunchGate(sim, k) if (self.ccc and k > 1) else None
 
-        def run_op(g: int, cost: OpCost, tag):
+        # cumulative cluster-wide wire bytes per link class; each GPU's
+        # replay of an op adds a 1/k share because OpCost byte fields
+        # are already cluster totals for the op
+        link_totals = {"nvlink": 0.0, "pcie": 0.0, "network": 0.0}
+        cache_totals: dict = {}
+
+        def trace_op(g: int, cost: OpCost, tag, track: str, t0: float):
+            stage, batch = tag[0], tag[1]
+            tracer.span(
+                track, cost.label, cat=stage, start=t0, end=sim.now,
+                gpu=g, stage=stage, batch=batch,
+                collective=cost.collective, host=cost.host,
+            )
+            share = 1.0 / k
+            bumped = False
+            for link, nbytes in cost.link_bytes().items():
+                if nbytes:
+                    link_totals[link] += nbytes * share
+                    bumped = True
+            if bumped:
+                tracer.counter("link-bytes", "cumulative", sim.now,
+                               **link_totals)
+
+        def emit_batch_info(t: int) -> None:
+            """Cumulative cache hit/miss counters when batch t's load
+            stage completes (emitted once per batch, by GPU 0)."""
+            info = self.batch_info[t] if self.batch_info else None
+            if not info:
+                return
+            for key, value in info.get("cache", {}).items():
+                cache_totals[key] = cache_totals.get(key, 0) + value
+            if cache_totals:
+                tracer.counter("cache", "cumulative", sim.now,
+                               **cache_totals)
+
+        def run_op(g: int, cost: OpCost, tag, track: str = ""):
+            t0 = sim.now
             if cost.host:
                 # host-side work: the GPU just waits
                 yield Timeout(float(cost.stage))
+                if tracer is not None:
+                    trace_op(g, cost, tag, track, t0)
                 return
             footprint = min(cost.threads, threads[g].capacity)
             if cost.collective:
@@ -124,20 +179,27 @@ class PipelineRunner:
                 yield threads[g].acquire(footprint)
                 yield Timeout(float(cost.per_gpu[g]))
                 threads[g].release(footprint)
+            if tracer is not None:
+                trace_op(g, cost, tag, track, t0)
 
         B = len(self.batches)
         if self.sequential:
             # one worker per GPU runs sample -> load -> train per batch,
             # with a cross-GPU barrier between batches (BSP steps)
             def worker(g: int):
+                track = f"seq-gpu{g}"
                 for t in range(B):
                     for stage in STAGES:
                         for i, cost in enumerate(self.batches[t][stage]):
-                            yield from run_op(g, cost, (stage, t, i))
+                            yield from run_op(g, cost, (stage, t, i), track)
+                        if stage == "load" and tracer is not None and g == 0:
+                            emit_batch_info(t)
                     if k > 1:
                         yield barrier.arrive(("batch-end", t), k)
 
             for g in range(k):
+                if tracer is not None:
+                    tracer.declare_track(f"seq-gpu{g}", group=f"gpu{g}")
                 sim.spawn(worker(g), name=f"seq-gpu{g}")
         else:
             S, L = self.sampler_workers, self.loader_workers
@@ -154,34 +216,49 @@ class PipelineRunner:
             ]
 
             def sampler(g: int, w: int):
+                track = f"sampler{w}-gpu{g}"
                 for t in range(w, B, S):
                     for i, cost in enumerate(self.batches[t]["sample"]):
-                        yield from run_op(g, cost, ("sample", t, i))
+                        yield from run_op(g, cost, ("sample", t, i), track)
                     yield queues_sl[g][t % L].put(t)
 
             def loader(g: int, w: int):
+                track = f"loader{w}-gpu{g}"
                 for _ in range(w, B, L):
                     t = yield queues_sl[g][w].get()
                     for i, cost in enumerate(self.batches[t]["load"]):
-                        yield from run_op(g, cost, ("load", t, i))
+                        yield from run_op(g, cost, ("load", t, i), track)
+                    if tracer is not None and g == 0:
+                        emit_batch_info(t)
                     yield queues_lt[g].put(t)
 
             def trainer(g: int):
                 # BSP: consume strictly in batch order, stashing early
                 # arrivals from out-of-order loader instances
+                track = f"trainer-gpu{g}"
                 stash: set[int] = set()
                 next_t = 0
                 while next_t < B:
                     if next_t in stash:
                         stash.remove(next_t)
                         for i, cost in enumerate(self.batches[next_t]["train"]):
-                            yield from run_op(g, cost, ("train", next_t, i))
+                            yield from run_op(g, cost, ("train", next_t, i),
+                                              track)
                         next_t += 1
                         continue
                     t = yield queues_lt[g].get()
                     stash.add(t)
 
             for g in range(k):
+                if tracer is not None:
+                    for w in range(S):
+                        tracer.declare_track(f"sampler{w}-gpu{g}",
+                                             group=f"gpu{g}", sort=w)
+                    for w in range(L):
+                        tracer.declare_track(f"loader{w}-gpu{g}",
+                                             group=f"gpu{g}", sort=S + w)
+                    tracer.declare_track(f"trainer-gpu{g}", group=f"gpu{g}",
+                                         sort=S + L)
                 for w in range(S):
                     sim.spawn(sampler(g, w), name=f"sampler{w}-gpu{g}")
                 for w in range(L):
@@ -190,5 +267,7 @@ class PipelineRunner:
 
         total = sim.run()
         occ = float(np.mean([r.occupancy(total) for r in threads]))
-        busy = float(np.mean([r.busy_fraction(total) for r in threads]))
-        return PipelineResult(epoch_time=total, utilization=occ, busy_fraction=busy)
+        per_busy = tuple(r.busy_fraction(total) for r in threads)
+        busy = float(np.mean(per_busy))
+        return PipelineResult(epoch_time=total, utilization=occ,
+                              busy_fraction=busy, per_gpu_busy=per_busy)

@@ -184,7 +184,8 @@ class TrainingSystem:
         return trace, mean_loss, mean_acc
 
     def run_epoch(
-        self, max_batches: int | None = None, functional: bool = True
+        self, max_batches: int | None = None, functional: bool = True,
+        tracer=None,
     ) -> EpochMetrics:
         """One epoch: functional training + cost accounting.
 
@@ -193,11 +194,21 @@ class TrainingSystem:
         accounting — an order of magnitude faster for pure performance
         experiments.  ``max_batches`` truncates the epoch and
         extrapolates the time linearly (steady-state batches are iid).
+
+        ``tracer`` (a :class:`repro.obs.Tracer`) records the simulated
+        timeline of the measured batches — op spans, wait spans, SM /
+        queue / cache / link-byte counters — through the pipeline
+        replay (see ``docs/observability.md``).  The trace covers the
+        measured batches only, i.e. the epoch before the ``max_batches``
+        extrapolation and the per-batch allocator overhead are applied.
         """
+        if max_batches is not None and max_batches < 1:
+            raise ConfigError("max_batches must be >= 1")
         batches = self._global_batches()
         measured = batches if max_batches is None else batches[:max_batches]
 
         stage_costs: list[dict] = []
+        batch_info: list[dict] = []
         losses, accs = [], []
         nvlink = pcie = network = 0.0
         sample_t = load_t = train_t = 0.0
@@ -214,6 +225,8 @@ class TrainingSystem:
             accs.append(acc)
             for key in cache_stats:
                 cache_stats[key] += stats.get(key, 0)
+            if tracer is not None:
+                batch_info.append({"cache": dict(stats)})
 
             costs = {
                 "sample": self.engine.trace_cost(s_trace),
@@ -231,6 +244,7 @@ class TrainingSystem:
 
         overhead = self._batch_overhead() * len(measured)
         scale_up = len(batches) / len(measured)
+        info = batch_info if tracer is not None else None
         if self.pipelined:
             result = PipelineRunner(
                 self.cluster,
@@ -239,12 +253,15 @@ class TrainingSystem:
                 ccc=self.config.ccc,
                 sampler_workers=self.config.sampler_workers,
                 loader_workers=self.config.loader_workers,
+                tracer=tracer,
+                batch_info=info,
             ).run()
             epoch_time = (result.epoch_time + overhead) * scale_up
             utilization = result.utilization
         else:
             seq = PipelineRunner(
-                self.cluster, stage_costs, sequential=True
+                self.cluster, stage_costs, sequential=True,
+                tracer=tracer, batch_info=info,
             ).run()
             epoch_time = (seq.epoch_time + overhead) * scale_up
             utilization = seq.utilization

@@ -61,6 +61,11 @@ class LaunchGate:
         if pos is None or pos != self._next[gpu]:
             raise ReproError(f"gpu {gpu} launched {tag!r} out of turn")
         self._next[gpu] += 1
+        if self.sim.tracer is not None:
+            self.sim.tracer.instant(
+                "ccc-gate", f"launched:{tag}", self.sim.now,
+                cat="ccc", gpu=gpu, position=pos,
+            )
         self._drain(gpu)
 
     # -- internals -------------------------------------------------------
@@ -68,6 +73,11 @@ class LaunchGate:
         if tag not in self._position:
             self._position[tag] = len(self.order)
             self.order.append(tag)
+            if self.sim.tracer is not None:
+                self.sim.tracer.instant(
+                    "ccc-gate", f"order:{tag}", self.sim.now,
+                    cat="ccc", position=self._position[tag],
+                )
             for gpu in range(self.num_gpus):
                 self._drain(gpu)
 

@@ -52,6 +52,12 @@ class Resource:
         self._busy += dt if self.used > 0 else 0.0
         self._last_t = self.sim.now
 
+    def _trace_used(self) -> None:
+        """Counter event on a ``used`` transition.  Callers guard with
+        ``if sim.tracer is not None`` to keep untraced runs call-free."""
+        self.sim.tracer.counter(self.name, "used", self.sim.now,
+                                used=self.used)
+
     def occupancy(self, total_time: float | None = None) -> float:
         """Mean fraction of capacity in use over the simulation."""
         self._account()
@@ -79,6 +85,8 @@ class Resource:
             raise ReproError(f"{self.name}: bad release of {n} (used={self.used})")
         self._account()
         self.used -= n
+        if self.sim.tracer is not None:
+            self._trace_used()
         self._drain()
 
     def _drain(self) -> None:
@@ -88,6 +96,8 @@ class Resource:
             proc, n = self._waiters.popleft()
             self._account()
             self.used += n
+            if self.sim.tracer is not None:
+                self._trace_used()
             self.sim.resume(proc)
 
 
@@ -101,6 +111,8 @@ class _Acquire(_Request):
         if not r._waiters and r.used + self.n <= r.capacity:
             r._account()
             r.used += self.n
+            if sim.tracer is not None:
+                r._trace_used()
             return True
         proc.waiting_on = f"acquire({r.name}, {self.n})"
         r._waiters.append((proc, self.n))
@@ -138,6 +150,16 @@ class BoundedQueue:
             self.sim.resume(getter, item)
         else:
             self.items.append(item)
+        if self.sim.tracer is not None:
+            self._trace_depth()
+
+    def _trace_depth(self) -> None:
+        """Queue-depth counter on a change.  Callers guard with
+        ``if sim.tracer is not None`` to keep untraced runs call-free."""
+        self.sim.tracer.counter(self.name, "depth", self.sim.now,
+                                depth=len(self.items),
+                                blocked_putters=len(self._putters),
+                                blocked_getters=len(self._getters))
 
 
 @dataclass
@@ -169,6 +191,8 @@ class _Get(_Request):
                 putter, item = q._putters.popleft()
                 q._push(item)
                 sim.resume(putter)
+            elif sim.tracer is not None:
+                q._trace_depth()
             return True
         proc.waiting_on = f"get({q.name})"
         q._getters.append(proc)
@@ -202,6 +226,9 @@ class _Arrive(_Request):
             del b._pending[self.tag]
             for p in waiting:
                 sim.resume(p)
+            if sim.tracer is not None:
+                sim.tracer.instant(b.name, f"release:{self.tag}", sim.now,
+                                   cat="rendezvous", parties=self.n_expected)
             return True  # last arrival proceeds immediately
         proc.waiting_on = f"barrier({b.name}, {self.tag})"
         waiting.append(proc)

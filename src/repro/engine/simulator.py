@@ -24,6 +24,7 @@ import itertools
 from dataclasses import dataclass
 from typing import Any, Callable, Generator, Iterator
 
+from repro.obs.tracer import wait_category
 from repro.utils.errors import DeadlockError, ReproError
 
 
@@ -48,6 +49,9 @@ class Process:
         self.result: Any = None
         #: human-readable description of the blocking request (diagnostics)
         self.waiting_on: str | None = None
+        # open wait-span bookkeeping; only touched when a tracer is set
+        self.block_start: float = 0.0
+        self.block_label: str | None = None
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         state = "done" if self.done else (self.waiting_on or "runnable")
@@ -57,13 +61,16 @@ class Process:
 class Simulator:
     """Event loop: schedules callbacks at simulated times, drives processes."""
 
-    def __init__(self) -> None:
+    def __init__(self, tracer=None) -> None:
         self.now: float = 0.0
         self._heap: list[tuple[float, int, Callable[[], None]]] = []
         self._seq = itertools.count()
         self._processes: list[Process] = []
         #: number of processes currently blocked on a primitive
         self._blocked = 0
+        #: optional :class:`repro.obs.Tracer`; when None (the default)
+        #: no trace event is ever allocated (every hook is guarded)
+        self.tracer = tracer
 
     # ------------------------------------------------------------------
     # scheduling
@@ -86,6 +93,13 @@ class Simulator:
     # ------------------------------------------------------------------
     def _step(self, proc: Process, value: Any) -> None:
         """Advance ``proc`` with ``value`` until it blocks or finishes."""
+        if self.tracer is not None and proc.block_label is not None:
+            self.tracer.span(
+                proc.name, proc.block_label,
+                cat=wait_category(proc.block_label),
+                start=proc.block_start, end=self.now,
+            )
+            proc.block_label = None
         proc.waiting_on = None
         while True:
             gen = proc.stack[-1]
@@ -117,6 +131,9 @@ class Simulator:
                 # request completed synchronously; its result was stashed
                 value = getattr(request, "result", None)
                 continue
+            if self.tracer is not None:
+                proc.block_start = self.now
+                proc.block_label = proc.waiting_on
             return  # blocked; the primitive will call resume()
 
     def resume(self, proc: Process, value: Any = None) -> None:
@@ -142,6 +159,19 @@ class Simulator:
             self.now = t
             callback()
 
+        if self.tracer is not None:
+            # close wait spans of processes that never resumed, so a
+            # deadlock's stall attribution survives into the trace
+            # (the Fig 8 forensics: who holds what, who waits on whom)
+            for p in self._processes:
+                if p.block_label is not None:
+                    self.tracer.span(
+                        p.name, p.block_label,
+                        cat=wait_category(p.block_label),
+                        start=p.block_start, end=self.now,
+                        unresolved=True,
+                    )
+                    p.block_label = None
         stuck = {p.name: p.waiting_on for p in self._processes
                  if not p.done and p.waiting_on is not None}
         if stuck:

@@ -28,6 +28,10 @@ from repro.hw.interconnect import (
 )
 from repro.utils.errors import ConfigError
 
+#: the link classes every byte of simulated traffic is billed to —
+#: the canonical key set for per-link counters (obs tracing, Fig 1)
+LINK_CLASSES = ("nvlink", "pcie", "network")
+
 #: useful payload per minimum PCIe read request (bytes)
 UVA_REQUEST_PAYLOAD = 32
 #: wire size of that request: payload + 18-byte packet header
@@ -68,6 +72,11 @@ class CommCost:
     @property
     def total_bytes(self) -> float:
         return self.nvlink_bytes + self.pcie_bytes
+
+    def breakdown(self) -> dict:
+        """Wire bytes per link class, keyed by :data:`LINK_CLASSES`."""
+        return {"nvlink": self.nvlink_bytes, "pcie": self.pcie_bytes,
+                "network": 0.0}
 
 
 ZERO_COST = CommCost()

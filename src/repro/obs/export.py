@@ -1,0 +1,127 @@
+"""Trace exporters: Chrome trace-event JSON and a plain-text timeline.
+
+The Chrome format (the ``traceEvents`` JSON consumed by Perfetto and
+``chrome://tracing``) maps naturally onto the simulator's structure:
+
+- one *process* (pid) per GPU, so each GPU gets its own track group;
+- one *thread* (tid) per worker (sampler/loader/trainer instance), so
+  spans on a track nest properly — a worker is a single sequential
+  generator, so its op spans strictly contain its wait spans;
+- counters (SM threads in use, queue depth, cumulative link bytes)
+  attach to the pid of the GPU their name mentions.
+
+Simulated seconds are exported as microseconds (the unit the viewers
+expect); events are sorted so timestamps are monotonically ordered.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+
+from repro.obs.tracer import CounterEvent, InstantEvent, SpanEvent, Tracer
+
+#: simulated seconds -> trace microseconds
+_US = 1e6
+
+_GPU_RE = re.compile(r"gpu(\d+)")
+
+
+def _group_of(tracer: Tracer, track: str) -> str:
+    meta = tracer.tracks.get(track)
+    if meta is not None and meta["group"]:
+        return meta["group"]
+    m = _GPU_RE.search(track)
+    return f"gpu{m.group(1)}" if m else "global"
+
+
+def _group_sort_key(group: str):
+    m = _GPU_RE.fullmatch(group)
+    return (0, int(m.group(1))) if m else (1, group)
+
+
+def to_chrome_trace(tracer: Tracer) -> dict:
+    """Convert collected events to a Chrome trace-event JSON object."""
+    groups: dict[str, int] = {}
+    tids: dict[str, int] = {}
+    events: list[dict] = []
+
+    # first pass: collect groups and tracks in a stable order
+    all_tracks = dict(tracer.tracks)
+    for ev in tracer.events:
+        all_tracks.setdefault(ev.track, {"group": None, "sort": 0})
+    by_group: dict[str, list[str]] = {}
+    for track in all_tracks:
+        by_group.setdefault(_group_of(tracer, track), []).append(track)
+    for i, group in enumerate(sorted(by_group, key=_group_sort_key)):
+        groups[group] = i
+        events.append({"name": "process_name", "ph": "M", "pid": i, "tid": 0,
+                       "args": {"name": group}})
+        tracks = sorted(
+            by_group[group],
+            key=lambda t: (all_tracks[t].get("sort", 0), t),
+        )
+        for j, track in enumerate(tracks):
+            tids[track] = j
+            events.append({"name": "thread_name", "ph": "M", "pid": i,
+                           "tid": j, "args": {"name": track}})
+
+    def loc(track: str) -> tuple[int, int]:
+        return groups[_group_of(tracer, track)], tids[track]
+
+    body: list[dict] = []
+    for ev in tracer.events:
+        pid, tid = loc(ev.track)
+        if isinstance(ev, SpanEvent):
+            body.append({
+                "name": ev.name, "cat": ev.cat or "span", "ph": "X",
+                "ts": ev.start * _US, "dur": ev.duration * _US,
+                "pid": pid, "tid": tid, "args": dict(ev.args),
+            })
+        elif isinstance(ev, InstantEvent):
+            body.append({
+                "name": ev.name, "cat": ev.cat or "instant", "ph": "i",
+                "ts": ev.ts * _US, "s": "t",
+                "pid": pid, "tid": tid, "args": dict(ev.args),
+            })
+        elif isinstance(ev, CounterEvent):
+            body.append({
+                "name": ev.name if ev.track == ev.name
+                else f"{ev.track} {ev.name}",
+                "ph": "C", "ts": ev.ts * _US, "pid": pid, "tid": tid,
+                "args": dict(ev.values),
+            })
+    body.sort(key=lambda e: e["ts"])
+    return {"traceEvents": events + body, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(tracer: Tracer, path) -> None:
+    """Write the Chrome trace JSON to ``path``."""
+    with open(path, "w") as f:
+        json.dump(to_chrome_trace(tracer), f)
+
+
+def to_text(tracer: Tracer) -> str:
+    """Plain-text timeline: one line per span/instant, grouped by track."""
+    lines: list[str] = []
+    tracks = sorted({ev.track for ev in tracer.events
+                     if not isinstance(ev, CounterEvent)})
+    for track in tracks:
+        lines.append(f"== {track} ==")
+        evs = [ev for ev in tracer.events if ev.track == track
+               and not isinstance(ev, CounterEvent)]
+        evs.sort(key=lambda e: e.start if isinstance(e, SpanEvent) else e.ts)
+        for ev in evs:
+            if isinstance(ev, SpanEvent):
+                extra = " ".join(f"{k}={v}" for k, v in sorted(ev.args.items()))
+                lines.append(
+                    f"  [{ev.start * 1e3:12.3f} .. {ev.end * 1e3:12.3f} ms] "
+                    f"{ev.cat or 'span':<16} {ev.name}"
+                    + (f"  ({extra})" if extra else "")
+                )
+            else:
+                lines.append(
+                    f"  [{ev.ts * 1e3:12.3f} ms]                    "
+                    f"{ev.cat or 'instant':<16} {ev.name}"
+                )
+    return "\n".join(lines) + ("\n" if lines else "")

@@ -46,7 +46,12 @@ class TestFeatureLoader:
         _, _, stats = loader.load([np.array([0, 4, 11]),
                                    np.array([], dtype=np.int64),
                                    np.array([], dtype=np.int64)])
-        assert stats == {"local": 1, "remote": 1, "cold": 1}
+        assert {k: stats[k] for k in ("local", "remote", "cold")} == \
+            {"local": 1, "remote": 1, "cold": 1}
+        row = 8 * 4  # dim 8 x fp32
+        assert stats["local_bytes"] == row
+        assert stats["remote_bytes"] == row
+        assert stats["cold_bytes"] == row
 
     def test_trace_parallel_hot_cold(self, setting):
         features, store = setting
@@ -94,7 +99,8 @@ class TestFeatureLoader:
         features, _ = setting
         loader = FeatureLoader(features, NoCache(12, 3))
         _, trace, stats = loader.load([np.arange(12)] * 3)
-        assert stats == {"local": 0, "remote": 0, "cold": 36}
+        assert {k: stats[k] for k in ("local", "remote", "cold")} == \
+            {"local": 0, "remote": 0, "cold": 36}
         assert trace.uva_payload_bytes() == 36 * 8 * 4
 
     def test_wrong_request_count(self, setting):

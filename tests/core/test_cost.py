@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core.cost import COMM_KERNEL_THREADS, CostEngine
+from repro.core.cost import CostEngine
 from repro.hw import Cluster
 from repro.sampling.ops import (
     AllReduce,

@@ -6,7 +6,7 @@ import pytest
 from repro.core import RunConfig, build_system
 from repro.core.inference import full_graph_inference
 from repro.nn import accuracy
-from repro.sampling.ops import AllToAll, LocalKernel
+from repro.sampling.ops import AllToAll
 from repro.utils import ConfigError
 
 

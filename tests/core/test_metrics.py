@@ -1,13 +1,13 @@
 """Tests for metrics containers and result export."""
 
 import csv
+import dataclasses
 import json
 
-import numpy as np
 import pytest
 
 from repro.core import RunConfig, build_system
-from repro.core.metrics import BatchCost, EPOCH_FIELDS, RunResult
+from repro.core.metrics import BatchCost, EPOCH_FIELDS, RunResult, scrub_nan
 
 
 @pytest.fixture(scope="module")
@@ -26,6 +26,29 @@ class TestBatchCost:
         assert c.sample_time == 1.5
         assert c.total_time == pytest.approx(6.5)
         assert c.nvlink_bytes == 10
+
+    def test_addition_covers_every_field(self):
+        """Regression: ``__add__`` must sum *all* dataclass fields, so a
+        newly added field can never be silently dropped again."""
+        n = len(dataclasses.fields(BatchCost))
+        a = BatchCost(*(float(i + 1) for i in range(n)))
+        b = BatchCost(*(10.0 * (i + 1) for i in range(n)))
+        c = a + b
+        for i, f in enumerate(dataclasses.fields(BatchCost)):
+            assert getattr(c, f.name) == pytest.approx(11.0 * (i + 1)), f.name
+
+
+class TestScrubNan:
+    def test_scalars(self):
+        assert scrub_nan(float("nan")) is None
+        assert scrub_nan(1.5) == 1.5
+        assert scrub_nan("x") == "x"
+        assert scrub_nan(None) is None
+
+    def test_recurses_containers(self):
+        out = scrub_nan({"a": float("nan"), "b": [1, float("nan")],
+                         "c": (float("nan"),)})
+        assert out == {"a": None, "b": [1, None], "c": [None]}
 
 
 class TestRunResult:

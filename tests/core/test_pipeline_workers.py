@@ -63,6 +63,30 @@ class TestMultiWorker:
         # partially overlapped: wall must be >= slow-load chain
         assert res.epoch_time >= 3 * 1.0
 
+    def test_trainer_consumes_in_batch_order(self, cluster):
+        """The trace proves the ordering: with two out-of-order loaders
+        the trainer's spans still carry batch tags 0..B-1 ascending."""
+        from repro.obs import Tracer
+
+        b = []
+        for t in range(8):
+            l_dur = 0.8 if t % 2 == 0 else 0.05
+            b.append({"sample": [kernel(0.05)],
+                      "load": [collective(l_dur)],
+                      "train": [kernel(0.1)]})
+        tr = Tracer()
+        PipelineRunner(cluster, b, loader_workers=2, tracer=tr).run()
+        for g in range(K):
+            trained = sorted(
+                tr.spans(cat="train", track=f"trainer-gpu{g}"),
+                key=lambda ev: ev.start,
+            )
+            assert [ev.args["batch"] for ev in trained] == list(range(8))
+        # and the loads really did run on two interleaved worker tracks
+        load_tracks = {ev.track for ev in tr.spans(cat="load")}
+        assert load_tracks == {f"loader{w}-gpu{g}"
+                               for w in range(2) for g in range(K)}
+
     def test_worker_counts_validated(self, cluster):
         with pytest.raises(ConfigError):
             PipelineRunner(cluster, batches(2), sampler_workers=0)

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.core import RunConfig, SYSTEMS, build_system
-from repro.core.system import DSPSeq
 from repro.utils import ConfigError
 
 
@@ -101,6 +100,12 @@ class TestDSPSpecifics:
         for _ in range(8):
             m = dsp.run_epoch()
         assert m.val_accuracy > 1.3 / dsp.data.num_classes
+
+
+class TestRunEpochValidation:
+    def test_zero_max_batches_rejected(self):
+        with pytest.raises(ConfigError):
+            build_system("DSP", CFG).run_epoch(max_batches=0, functional=False)
 
 
 class TestSystemComparisons:

@@ -11,7 +11,6 @@ all GPUs follow the leader's order and the deadlock disappears.
 import pytest
 
 from repro.engine import (
-    BoundedQueue,
     LaunchGate,
     Rendezvous,
     Resource,

@@ -1,7 +1,6 @@
 """Property-based tests for the execution engine and pipeline."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.cost import OpCost

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.engine import Simulator, Timeout
-from repro.utils import DeadlockError, ReproError
+from repro.utils import ReproError
 
 
 class TestEventLoop:

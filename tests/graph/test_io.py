@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core import RunConfig, build_system
-from repro.graph import CSRGraph, load_dataset, uniform_graph
+from repro.graph import load_dataset, uniform_graph
 from repro.graph.datasets import register_dataset
 from repro.graph.io import (
     dataset_from_arrays,

@@ -1,0 +1,113 @@
+"""Tests for the stall-breakdown and critical-path analyses."""
+
+import pytest
+
+from repro.obs import (
+    Tracer,
+    critical_path,
+    format_breakdown,
+    format_critical_path,
+    sm_busy_times,
+    stall_breakdown,
+)
+from repro.obs.analysis import track_gpu
+
+
+class TestTrackGpu:
+    def test_parses_suffix(self):
+        assert track_gpu("sampler0-gpu3") == 3
+        assert track_gpu("trainer-gpu10") == 10
+        assert track_gpu("link-bytes") is None
+
+
+class TestSmBusy:
+    def test_integrates_step_function(self):
+        tr = Tracer()
+        # gpu0-sm: busy 1..3 and 5..6 -> 3s of 10
+        for ts, used in [(1.0, 128), (3.0, 0), (5.0, 64), (6.0, 0)]:
+            tr.counter("gpu0-sm", "used", ts, used=used)
+        busy = sm_busy_times(tr, total_time=10.0, num_gpus=2)
+        assert busy[0] == pytest.approx(3.0)
+        assert busy[1] == 0.0
+
+    def test_open_tail_counts_to_total(self):
+        tr = Tracer()
+        tr.counter("gpu0-sm", "used", 2.0, used=1)
+        busy = sm_busy_times(tr, total_time=10.0, num_gpus=1)
+        assert busy[0] == pytest.approx(8.0)
+
+
+class TestStallBreakdown:
+    def test_attributes_waits_per_gpu_and_category(self):
+        tr = Tracer()
+        tr.span("sampler0-gpu0", "w", cat="rendezvous-wait", start=0, end=2)
+        tr.span("loader0-gpu0", "w", cat="queue-wait", start=1, end=2)
+        tr.span("trainer-gpu1", "w", cat="gate-wait", start=0, end=5)
+        tr.span("trainer-gpu1", "op", cat="train", start=5, end=6)  # not a stall
+        bd = stall_breakdown(tr, total_time=6.0, num_gpus=2)
+        assert bd[0].stall("rendezvous-wait") == pytest.approx(2.0)
+        assert bd[0].stall("queue-wait") == pytest.approx(1.0)
+        assert bd[1].stall("gate-wait") == pytest.approx(5.0)
+        assert bd[1].stall("queue-wait") == 0.0
+
+    def test_format_contains_all_columns(self):
+        tr = Tracer()
+        tr.span("trainer-gpu0", "w", cat="sm-wait", start=0, end=1)
+        text = format_breakdown(stall_breakdown(tr, 2.0, 2), 2.0)
+        for col in ("busy", "queue", "sm", "channel", "rendezvous", "gate"):
+            assert col in text
+        assert "mean" in text
+
+
+class TestCriticalPath:
+    def test_chains_last_finishers(self):
+        tr = Tracer()
+        # a(0..2) -> b(2..5) on another track -> c(5..6)
+        tr.span("trainer-gpu0", "a", cat="train", start=0, end=2)
+        tr.span("sampler0-gpu1", "b", cat="sample", start=2, end=5)
+        tr.span("trainer-gpu1", "c", cat="train", start=5, end=6)
+        tr.span("loader0-gpu0", "short", cat="load", start=0, end=0.5)
+        path = critical_path(tr)
+        assert [seg.name for seg in path] == ["a", "b", "c"]
+        assert path[0].start == 0.0 and path[-1].end == 6.0
+
+    def test_idle_gap_becomes_segment(self):
+        tr = Tracer()
+        tr.span("t-gpu0", "a", cat="train", start=0, end=1)
+        tr.span("t-gpu0", "b", cat="train", start=3, end=4)
+        path = critical_path(tr)
+        assert [seg.name for seg in path] == ["a", "idle", "b"]
+        assert path[1].duration == pytest.approx(2.0)
+
+    def test_wait_spans_excluded(self):
+        tr = Tracer()
+        tr.span("t-gpu0", "op", cat="train", start=0, end=1)
+        tr.span("t-gpu0", "w", cat="queue-wait", start=1, end=9)
+        path = critical_path(tr)
+        assert [seg.name for seg in path] == ["op"]
+
+    def test_zero_duration_spans_terminate(self):
+        """Regression: free ops (zero-length spans, e.g. single-GPU
+        collectives) must not stall the backward walk."""
+        tr = Tracer()
+        tr.span("t-gpu0", "free", cat="sample", start=1.0, end=1.0)
+        tr.span("t-gpu0", "a", cat="train", start=0, end=1)
+        tr.span("t-gpu0", "free2", cat="load", start=1.0, end=1.0)
+        tr.span("t-gpu0", "b", cat="train", start=1, end=2)
+        path = critical_path(tr)
+        assert [seg.name for seg in path] == ["a", "b"]
+
+    def test_all_spans_zero_duration(self):
+        tr = Tracer()
+        tr.span("t-gpu0", "free", cat="sample", start=0.0, end=0.0)
+        assert critical_path(tr) == []
+
+    def test_empty(self):
+        assert critical_path(Tracer()) == []
+        assert "no work spans" in format_critical_path([])
+
+    def test_format_summarizes(self):
+        tr = Tracer()
+        tr.span("t-gpu0", "a", cat="train", start=0, end=2)
+        text = format_critical_path(critical_path(tr))
+        assert "critical path" in text and "train" in text

@@ -1,0 +1,86 @@
+"""Tests for the Chrome trace-event and plain-text exporters."""
+
+import json
+
+from repro.obs import Tracer, to_chrome_trace, to_text, write_chrome_trace
+
+
+def make_tracer():
+    tr = Tracer()
+    tr.declare_track("sampler0-gpu0", group="gpu0", sort=0)
+    tr.declare_track("trainer-gpu0", group="gpu0", sort=1)
+    tr.declare_track("trainer-gpu1", group="gpu1", sort=1)
+    tr.span("sampler0-gpu0", "sample-op", cat="sample", start=0.0, end=1.0,
+            batch=0)
+    tr.span("sampler0-gpu0", "wait", cat="rendezvous-wait", start=0.2, end=0.8)
+    tr.span("trainer-gpu1", "train-op", cat="train", start=1.0, end=2.0)
+    tr.instant("trainer-gpu0", "mark", ts=0.5)
+    tr.counter("gpu0-sm", "used", ts=0.1, used=128)
+    tr.counter("link-bytes", "cumulative", ts=1.5, nvlink=100.0)
+    return tr
+
+
+class TestChromeExport:
+    def test_structure(self):
+        doc = to_chrome_trace(make_tracer())
+        assert set(doc) == {"traceEvents", "displayTimeUnit"}
+        phases = {e["ph"] for e in doc["traceEvents"]}
+        assert {"M", "X", "i", "C"} <= phases
+
+    def test_one_process_per_gpu(self):
+        doc = to_chrome_trace(make_tracer())
+        names = {e["args"]["name"]: e["pid"] for e in doc["traceEvents"]
+                 if e["ph"] == "M" and e["name"] == "process_name"}
+        # gpu0, gpu1 from declared/derived groups, global for link-bytes
+        assert set(names) == {"gpu0", "gpu1", "global"}
+        assert names["gpu0"] != names["gpu1"]
+        # tracks of the same GPU share the pid, different GPUs do not
+        threads = {e["args"]["name"]: e["pid"] for e in doc["traceEvents"]
+                   if e["ph"] == "M" and e["name"] == "thread_name"}
+        assert threads["sampler0-gpu0"] == threads["trainer-gpu0"]
+        assert threads["trainer-gpu0"] != threads["trainer-gpu1"]
+
+    def test_counter_attached_to_gpu_pid(self):
+        doc = to_chrome_trace(make_tracer())
+        pids = {e["args"]["name"]: e["pid"] for e in doc["traceEvents"]
+                if e["ph"] == "M" and e["name"] == "process_name"}
+        sm = [e for e in doc["traceEvents"] if e["ph"] == "C"
+              and "gpu0-sm" in e["name"]]
+        assert sm and sm[0]["pid"] == pids["gpu0"]
+        assert sm[0]["args"] == {"used": 128}
+
+    def test_timestamps_monotonic_and_microseconds(self):
+        doc = to_chrome_trace(make_tracer())
+        body = [e for e in doc["traceEvents"] if e["ph"] != "M"]
+        ts = [e["ts"] for e in body]
+        assert ts == sorted(ts)
+        span = next(e for e in body if e["name"] == "train-op")
+        assert span["ts"] == 1.0e6 and span["dur"] == 1.0e6
+
+    def test_spans_nest_within_track(self):
+        doc = to_chrome_trace(make_tracer())
+        xs = [e for e in doc["traceEvents"]
+              if e["ph"] == "X" and e["args"].get("batch") == 0
+              or e["ph"] == "X" and e["name"] == "wait"]
+        outer = next(e for e in xs if e["name"] == "sample-op")
+        inner = next(e for e in xs if e["name"] == "wait")
+        assert (outer["pid"], outer["tid"]) == (inner["pid"], inner["tid"])
+        assert outer["ts"] <= inner["ts"]
+        assert inner["ts"] + inner["dur"] <= outer["ts"] + outer["dur"]
+
+    def test_write_round_trip(self, tmp_path):
+        path = tmp_path / "trace.json"
+        write_chrome_trace(make_tracer(), path)
+        doc = json.loads(path.read_text())
+        assert doc["traceEvents"]
+
+
+class TestTextExport:
+    def test_lists_tracks_and_spans(self):
+        text = to_text(make_tracer())
+        assert "== sampler0-gpu0 ==" in text
+        assert "sample-op" in text and "train-op" in text
+        assert "rendezvous-wait" in text
+
+    def test_empty_tracer(self):
+        assert to_text(Tracer()) == ""

@@ -1,0 +1,245 @@
+"""Integration: tracing through the pipeline runner (the ISSUE's
+acceptance criteria — busy-fraction agreement, zero-cost-off, Fig 8
+stall attribution, Chrome-trace validity of a real workload)."""
+
+import numpy as np
+import pytest
+
+import repro.obs.tracer as tracer_mod
+from repro.core.cost import OpCost
+from repro.core.pipeline import PipelineRunner
+from repro.hw import Cluster
+from repro.obs import (
+    Tracer,
+    critical_path,
+    sm_busy_times,
+    stall_breakdown,
+    to_chrome_trace,
+)
+from repro.utils import DeadlockError
+
+K = 4
+
+
+def kernel(dur, threads=1024):
+    return OpCost(label="k", per_gpu=np.full(K, dur), stage=dur,
+                  threads=threads)
+
+
+def collective(dur, nvlink=1000.0):
+    return OpCost(label="c", per_gpu=np.full(K, dur), stage=dur, threads=128,
+                  collective=True, nvlink_bytes=nvlink)
+
+
+def batches(n, sample_dur=1.0, load_dur=1.0, train_dur=1.0):
+    """The Fig-12 style pipeline workload of the seed tests."""
+    return [
+        {
+            "sample": [collective(sample_dur)],
+            "load": [collective(load_dur)],
+            "train": [kernel(train_dur)],
+        }
+        for _ in range(n)
+    ]
+
+
+def skewed_batches(n):
+    """Fig 8: divergent collective launch orders across GPUs."""
+    up = np.linspace(0.01, 0.4, K)
+    down = up[::-1].copy()
+
+    def local(per):
+        return OpCost(label="k", per_gpu=per, stage=float(per.max()),
+                      threads=256)
+
+    return [
+        {
+            "sample": [local(up), collective(0.3)],
+            "load": [local(down), collective(0.3)],
+            "train": [kernel(0.05)],
+        }
+        for _ in range(n)
+    ]
+
+
+@pytest.fixture
+def cluster():
+    return Cluster.dgx1(K)
+
+
+class TestBusyAgreement:
+    def test_breakdown_busy_matches_pipeline_result(self, cluster):
+        """Acceptance: per-GPU busy from the trace == the resource
+        integral the runner reports, within 1e-6."""
+        tr = Tracer()
+        res = PipelineRunner(cluster, batches(8), tracer=tr).run()
+        busy = sm_busy_times(tr, res.epoch_time, K)
+        for g in range(K):
+            assert busy[g] / res.epoch_time == pytest.approx(
+                res.per_gpu_busy[g], abs=1e-6
+            )
+        bd = stall_breakdown(tr, res.epoch_time, K)
+        mean = sum(b.busy for b in bd) / (K * res.epoch_time)
+        assert mean == pytest.approx(res.busy_fraction, abs=1e-6)
+
+    def test_tracing_does_not_change_the_simulation(self, cluster):
+        b = batches(8)
+        plain = PipelineRunner(cluster, b).run()
+        traced = PipelineRunner(cluster, b, tracer=Tracer()).run()
+        assert traced.epoch_time == plain.epoch_time
+        assert traced.busy_fraction == plain.busy_fraction
+
+
+class TestZeroCostWhenDisabled:
+    def test_untraced_run_allocates_no_events(self, cluster, monkeypatch):
+        """Acceptance: with no tracer attached, not one event object
+        (nor a Tracer) is constructed during Simulator.run()."""
+        def boom(*a, **kw):
+            raise AssertionError("trace event allocated without a tracer")
+
+        for cls in ("SpanEvent", "InstantEvent", "CounterEvent", "Tracer"):
+            monkeypatch.setattr(tracer_mod, cls, boom)
+        monkeypatch.setattr(Tracer, "span", boom)
+        monkeypatch.setattr(Tracer, "instant", boom)
+        monkeypatch.setattr(Tracer, "counter", boom)
+        res = PipelineRunner(cluster, batches(8)).run()
+        assert res.epoch_time > 0
+
+    def test_multi_worker_untraced_also_clean(self, cluster, monkeypatch):
+        monkeypatch.setattr(Tracer, "span", None)
+        monkeypatch.setattr(Tracer, "counter", None)
+        res = PipelineRunner(cluster, batches(8), sampler_workers=2,
+                             loader_workers=2).run()
+        assert res.epoch_time > 0
+
+
+class TestChromeTraceOfPipeline:
+    def test_valid_nested_monotonic(self, cluster):
+        tr = Tracer()
+        PipelineRunner(cluster, batches(6), tracer=tr).run()
+        doc = to_chrome_trace(tr)
+        body = [e for e in doc["traceEvents"] if e["ph"] != "M"]
+        ts = [e["ts"] for e in body]
+        assert ts == sorted(ts)  # monotonically ordered
+        # every GPU contributes a worker track with spans
+        pids = {e["args"]["name"]: e["pid"] for e in doc["traceEvents"]
+                if e["ph"] == "M" and e["name"] == "process_name"}
+        for g in range(K):
+            assert f"gpu{g}" in pids
+        # spans on one (pid, tid) must nest (no partial overlap)
+        per_track: dict = {}
+        for e in body:
+            if e["ph"] == "X":
+                per_track.setdefault((e["pid"], e["tid"]), []).append(
+                    (e["ts"], e["ts"] + e["dur"])
+                )
+        assert per_track
+        eps = 1e-6
+        for spans in per_track.values():
+            stack = []
+            for s, e in sorted(spans, key=lambda x: (x[0], -x[1])):
+                while stack and stack[-1] <= s + eps:
+                    stack.pop()
+                assert not stack or e <= stack[-1] + eps
+                stack.append(e)
+
+    def test_op_spans_tagged(self, cluster):
+        tr = Tracer()
+        PipelineRunner(cluster, batches(3), tracer=tr).run()
+        train = [ev for ev in tr.spans(cat="train")]
+        assert len(train) == 3 * K
+        for ev in train:
+            assert set(ev.args) >= {"gpu", "stage", "batch", "collective"}
+        assert sorted({ev.args["batch"] for ev in train}) == [0, 1, 2]
+
+    def test_sequential_mode_traced_too(self, cluster):
+        tr = Tracer()
+        PipelineRunner(cluster, batches(3), sequential=True, tracer=tr).run()
+        assert any(ev.track == "seq-gpu0" for ev in tr.spans())
+
+
+class TestCounters:
+    def test_link_byte_counters_cumulative_and_exact(self, cluster):
+        tr = Tracer()
+        PipelineRunner(cluster, batches(5), tracer=tr).run()
+        points = list(tr.counters(track="link-bytes"))
+        assert points
+        series = [p.values["nvlink"] for p in points]
+        assert series == sorted(series)  # cumulative
+        # 5 batches x 2 collectives x 1000 bytes, cluster-wide
+        assert series[-1] == pytest.approx(5 * 2 * 1000.0)
+
+    def test_queue_depth_counters_bounded_by_capacity(self, cluster):
+        tr = Tracer()
+        PipelineRunner(cluster, batches(8), queue_capacity=2, tracer=tr).run()
+        depths = [p.values["depth"] for p in tr.counters()
+                  if "depth" in p.values]
+        assert depths
+        assert max(depths) <= 2
+
+    def test_cache_counters_from_batch_info(self, cluster):
+        tr = Tracer()
+        info = [{"cache": {"local": 10, "remote": 3, "cold": 1}}
+                for _ in range(4)]
+        PipelineRunner(cluster, batches(4), tracer=tr, batch_info=info).run()
+        points = list(tr.counters(track="cache"))
+        assert len(points) == 4  # one per batch, emitted once (gpu 0)
+        assert points[-1].values == {"local": 40, "remote": 12, "cold": 4}
+
+    def test_batch_info_length_validated(self, cluster):
+        from repro.utils import ConfigError
+
+        with pytest.raises(ConfigError):
+            PipelineRunner(cluster, batches(3), batch_info=[{}])
+
+
+class TestFig8StallAttribution:
+    def test_deadlock_trace_blames_channel_contention(self, cluster):
+        """Acceptance: the ccc=False near-deadlock leaves unresolved
+        gate/rendezvous/channel stall spans that show the Fig 8 cycle —
+        collectives parked at the rendezvous while peers wait for the
+        comm channel they hold."""
+        tr = Tracer()
+        with pytest.raises(DeadlockError):
+            PipelineRunner(cluster, skewed_batches(6), ccc=False,
+                           comm_channels=1, tracer=tr).run()
+        stuck = [ev for ev in tr.spans() if ev.args.get("unresolved")]
+        assert stuck
+        cats = {ev.cat for ev in stuck}
+        # the deadlock cycle: holders stuck at the rendezvous, waiters
+        # stuck on the (single) channel those holders occupy
+        assert "rendezvous-wait" in cats
+        assert "channel-wait" in cats
+        # every GPU participates in the stall
+        gpus = {ev.track.rsplit("-gpu", 1)[1] for ev in stuck}
+        assert gpus == {str(g) for g in range(K)}
+
+    def test_ccc_removes_the_stall_spans(self, cluster):
+        tr = Tracer()
+        res = PipelineRunner(cluster, skewed_batches(6), ccc=True,
+                             comm_channels=1, tracer=tr).run()
+        assert res.epoch_time > 0
+        stuck = [ev for ev in tr.spans() if ev.args.get("unresolved")]
+        assert stuck == []  # no unresolved stalls: the epoch completed
+        # with CCC the ordering waits move to the gate, and every one
+        # of them resolves
+        gate_waits = list(tr.spans(cat="gate-wait"))
+        assert gate_waits
+        assert all(not ev.args.get("unresolved") for ev in gate_waits)
+
+
+class TestCriticalPathOfPipeline:
+    def test_bottleneck_stage_dominates(self, cluster):
+        """Sampler-bound workload: the critical path is mostly sample."""
+        tr = Tracer()
+        res = PipelineRunner(
+            cluster, batches(10, sample_dur=2.0, load_dur=0.1, train_dur=0.1),
+            tracer=tr,
+        ).run()
+        path = critical_path(tr)
+        assert path[0].start == pytest.approx(0.0)
+        assert path[-1].end == pytest.approx(res.epoch_time)
+        by_cat: dict = {}
+        for seg in path:
+            by_cat[seg.cat] = by_cat.get(seg.cat, 0.0) + seg.duration
+        assert by_cat["sample"] > 0.8 * res.epoch_time

@@ -1,0 +1,72 @@
+"""Tests for the Tracer event container and the wait taxonomy."""
+
+import pytest
+
+from repro.obs import (
+    CounterEvent,
+    InstantEvent,
+    SpanEvent,
+    Tracer,
+    WAIT_CATEGORIES,
+    wait_category,
+)
+
+
+class TestTracer:
+    def test_records_all_event_kinds(self):
+        tr = Tracer()
+        tr.span("t0", "op", cat="sample", start=1.0, end=2.5, batch=3)
+        tr.instant("t0", "tick", ts=2.0, cat="mark")
+        tr.counter("q0", "depth", ts=2.2, depth=1)
+        assert len(tr) == 3
+        kinds = [type(ev) for ev in tr.events]
+        assert kinds == [SpanEvent, InstantEvent, CounterEvent]
+
+    def test_span_duration_and_args(self):
+        tr = Tracer()
+        ev = tr.span("t", "op", start=1.0, end=4.0, gpu=2)
+        assert ev.duration == pytest.approx(3.0)
+        assert ev.args == {"gpu": 2}
+
+    def test_filters(self):
+        tr = Tracer()
+        tr.span("a", "x", cat="sample", start=0, end=1)
+        tr.span("b", "y", cat="load", start=0, end=1)
+        tr.counter("a", "used", ts=0.5, used=3)
+        tr.counter("a", "depth", ts=0.5, depth=1)
+        assert [ev.name for ev in tr.spans(cat="load")] == ["y"]
+        assert [ev.name for ev in tr.spans(track="a")] == ["x"]
+        assert [ev.values for ev in tr.counters(track="a", name="used")] == [
+            {"used": 3}
+        ]
+
+    def test_end_time(self):
+        tr = Tracer()
+        assert tr.end_time() == 0.0
+        tr.span("t", "op", start=0.0, end=2.0)
+        tr.instant("t", "late", ts=5.0)
+        assert tr.end_time() == 5.0
+
+    def test_declare_track(self):
+        tr = Tracer()
+        tr.declare_track("sampler0-gpu1", group="gpu1", sort=2)
+        assert tr.tracks["sampler0-gpu1"] == {"group": "gpu1", "sort": 2}
+
+
+class TestWaitCategory:
+    @pytest.mark.parametrize("label, cat", [
+        ("put(gpu0-trainq)", "queue-wait"),
+        ("get(gpu3-loadq1)", "queue-wait"),
+        ("acquire(gpu0-sm, 128)", "sm-wait"),
+        ("acquire(gpu2-comm, 1)", "channel-wait"),
+        ("barrier(collective, ('load', 0, 1))", "rendezvous-wait"),
+        ("ccc(1, ('sample', 2, 0))", "gate-wait"),
+        ("something-else", "wait"),
+    ])
+    def test_mapping(self, label, cat):
+        assert wait_category(label) == cat
+
+    def test_known_categories_cover_mapping(self):
+        for label in ("put(q)", "acquire(gpu0-sm, 1)", "acquire(gpu0-comm, 1)",
+                      "barrier(b, t)", "ccc(0, t)"):
+            assert wait_category(label) in WAIT_CATEGORIES

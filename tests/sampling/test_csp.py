@@ -5,7 +5,7 @@ import pytest
 
 from repro.graph import dcsbm_graph, metis_partition, renumber_by_partition
 from repro.sampling import CollectiveSampler, CSPConfig
-from repro.sampling.ops import AllToAll, LocalKernel
+from repro.sampling.ops import AllToAll
 from repro.utils import ConfigError
 
 

@@ -37,6 +37,37 @@ class TestCLI:
         payload = json.loads(out[out.index("{"):])
         assert set(payload) == {"DSP", "DGL-UVA"}
 
+    def test_train_out_writes_file_not_stdout(self, capsys, tmp_path):
+        path = tmp_path / "metrics.json"
+        assert main(["train", *ARGS, "--epochs", "1", "--cost-only",
+                     "--out", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert f"wrote {path}" in out
+        assert "epoch_time" not in out  # the JSON went to the file
+        payload = json.loads(path.read_text())
+        assert payload[0]["epoch_time"] > 0
+
+    def test_compare_out_writes_file(self, capsys, tmp_path):
+        path = tmp_path / "table.json"
+        assert main(["compare", *ARGS, "--systems", "DSP", "--batches", "2",
+                     "--out", str(path)]) == 0
+        assert f"wrote {path}" in capsys.readouterr().out
+        assert set(json.loads(path.read_text())) == {"DSP"}
+
+    def test_trace(self, capsys, tmp_path):
+        path = tmp_path / "trace.json"
+        text = tmp_path / "trace.txt"
+        assert main(["trace", *ARGS, "--system", "DSP", "--batches", "2",
+                     "--out", str(path), "--text", str(text)]) == 0
+        out = capsys.readouterr().out
+        assert f"wrote {path}" in out
+        assert "busy" in out and "critical path" in out
+        doc = json.loads(path.read_text())
+        assert doc["traceEvents"]
+        phases = {e["ph"] for e in doc["traceEvents"]}
+        assert {"M", "X", "C"} <= phases
+        assert "==" in text.read_text()
+
     def test_infer(self, capsys):
         assert main(["infer", *ARGS, "--epochs", "1"]) == 0
         out = capsys.readouterr().out

@@ -4,10 +4,9 @@ import numpy as np
 import pytest
 
 from repro.core import RunConfig, build_system
-from repro.core.system import DSP
 from repro.graph import load_dataset
-from repro.sampling import CSPConfig, random_walk
-from repro.utils import CapacityError, ConfigError
+from repro.sampling import random_walk
+from repro.utils import CapacityError
 
 
 CFG = RunConfig(dataset="tiny", num_gpus=4, hidden_dim=16, batch_size=16,

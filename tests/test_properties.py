@@ -1,16 +1,13 @@
 """Property-based tests (hypothesis) for core invariants."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.graph import (
     CSRGraph,
-    Partition,
     hash_partition,
     metis_partition,
     renumber_by_partition,
-    uniform_graph,
 )
 from repro.nn import Tensor, functional as F
 from repro.sampling import GraphPatch, sample_neighbors
