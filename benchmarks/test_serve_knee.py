@@ -1,0 +1,79 @@
+"""Serving latency–throughput knee: DSP vs Pull-Data vs UVA, 4 GPUs.
+
+The serving analogue of Table 4: the same open-loop request stream is
+offered to each system at an increasing QPS ladder, and the *knee* —
+the largest offered load served within a 1 ms p99 SLO with at most 1%
+shedding — is compared.  DSP's CSP sampling and partitioned NVLink
+cache must sustain a strictly higher QPS than the Pull-Data variant
+(which ships whole adjacency lists for remote frontier nodes) and the
+UVA baseline (which pays PCIe read amplification on every hop and
+cold feature loads).
+"""
+
+import numpy as np
+
+from repro.bench import fmt_table
+from repro.core import RunConfig, build_system
+from repro.serve import (
+    ServeConfig,
+    WorkloadConfig,
+    make_workload,
+    max_sustainable_qps,
+    qps_sweep,
+)
+
+SYSTEMS = ("DSP", "DSP-Pull", "DGL-UVA")
+LADDER = (100e3, 200e3, 400e3, 800e3, 1600e3)
+SERVE = ServeConfig(batch_max=64, batch_timeout_s=0.3e-3,
+                    queue_capacity=256, slo_s=1e-3)
+
+
+def test_serve_knee(benchmark, emit):
+    # 2048 requests are needed to drive DSP into saturation at the
+    # ladder top; the whole sweep still runs in seconds, so quick mode
+    # gets the same size
+    n = 2048
+    cfg = RunConfig(dataset="products", num_gpus=4)
+    workload = None
+    sweeps = {}
+    for name in SYSTEMS:
+        system = build_system(name, cfg)
+        if workload is None:
+            workload = make_workload(
+                WorkloadConfig(num_requests=n, seed=7),
+                np.arange(system.base_dataset.num_nodes),
+            )
+        sweeps[name] = qps_sweep(system, workload, LADDER, SERVE)
+
+    knees = {name: max_sustainable_qps(pts) for name, pts in sweeps.items()}
+    emit(fmt_table(
+        "Serving knee: p99 latency (ms) by offered QPS, products, 4 GPUs "
+        "(knee = max QPS with p99 <= 1ms, shed <= 1%)",
+        [f"{q / 1e3:.0f}k" for q in LADDER] + ["knee"],
+        [
+            (name, [pts[i].report.p99 * 1e3 for i in range(len(LADDER))]
+             + [f"{knees[name] / 1e3:.0f}k"])
+            for name, pts in sweeps.items()
+        ],
+    ))
+
+    for name, pts in sweeps.items():
+        p99s = [p.report.p99 for p in pts]
+        thru = [p.report.throughput_qps for p in pts]
+        # latency degrades monotonically with offered load
+        for lo, hi in zip(p99s, p99s[1:]):
+            assert hi >= lo * 0.999, f"{name}: p99 not monotone"
+        # throughput saturates: the last doubling of offered load
+        # yields clearly less than double the completions per second
+        assert thru[-1] < 2 * 0.9 * thru[-2], (
+            f"{name}: throughput still scaling linearly at the ladder top"
+        )
+        # goodput only ever loses to throughput (SLO misses drop out)
+        for p in pts:
+            assert 0.0 <= p.report.goodput_qps <= p.report.throughput_qps
+
+    # the headline: DSP sustains strictly more QPS at the same SLO
+    assert knees["DSP"] > knees["DSP-Pull"], knees
+    assert knees["DSP"] > knees["DGL-UVA"], knees
+    # and the UVA baseline trails the partitioned designs badly
+    assert knees["DGL-UVA"] < knees["DSP-Pull"], knees

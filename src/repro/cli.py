@@ -6,6 +6,7 @@ Commands
 ``compare``  run several systems on one workload (Table 4 style)
 ``info``     show datasets, systems and the simulated hardware
 ``infer``    train then run distributed full-graph inference
+``serve``    online inference serving: QPS sweep, SLO accounting, knee
 ``trace``    run one traced epoch; write a Chrome trace, print stalls
 """
 
@@ -110,8 +111,10 @@ def cmd_infer(args) -> int:
 
     cfg = _config(args)
     system = build_system(args.system, cfg)
+    rows = []
     for epoch in range(args.epochs):
         m = system.run_epoch()
+        rows.append(m)
         print(f"epoch {epoch}: loss {m.loss:.4f} val {m.val_accuracy:.2%}")
     preds, trace = full_graph_inference(system)
     t = system.engine.stage_time(trace)
@@ -119,6 +122,76 @@ def cmd_infer(args) -> int:
     acc = accuracy(preds[test], system.data.labels[test])
     print(f"full-graph inference: test accuracy {acc:.2%}, "
           f"simulated time {fmt_time(t)}")
+    if args.json or args.out:
+        _emit_json(
+            {
+                "epochs": [_metrics_dict(m) for m in rows],
+                "inference": {
+                    "test_accuracy": scrub_nan(acc),
+                    "simulated_time_s": scrub_nan(t),
+                },
+            },
+            args,
+        )
+    return 0
+
+
+def cmd_serve(args) -> int:
+    """``repro serve``: online serving sweep with SLO accounting."""
+    import numpy as np
+
+    from repro.serve import (
+        ServeConfig,
+        WorkloadConfig,
+        make_workload,
+        max_sustainable_qps,
+        qps_sweep,
+    )
+
+    cfg = _config(args)
+    qps_values = [float(q) for q in args.qps.split(",")]
+    serve_cfg = ServeConfig(
+        batch_max=args.batch_max,
+        batch_timeout_s=args.batch_timeout_ms * 1e-3,
+        queue_capacity=args.queue_capacity,
+        slo_s=args.slo_ms * 1e-3,
+        functional=args.functional,
+    )
+    wl_cfg = WorkloadConfig(
+        num_requests=args.requests,
+        arrival=args.arrival,
+        skew=args.skew,
+        seed=args.seed,
+    )
+    systems = [s for s in args.systems.split(",") if s]
+    workload = None
+    payload: dict = {"slo_ms": args.slo_ms, "systems": {}}
+    print(f"{'system':<10} {'offered':>10} {'p50':>10} {'p99':>10} "
+          f"{'goodput':>10} {'shed':>6} {'batch':>6}")
+    knees = {}
+    for name in systems:
+        system = build_system(name, cfg)
+        if workload is None:
+            workload = make_workload(
+                wl_cfg, np.arange(system.base_dataset.num_nodes)
+            )
+        points = qps_sweep(system, workload, qps_values, serve_cfg)
+        for p in points:
+            r = p.report
+            print(f"{name:<10} {p.qps:>10.0f} {fmt_time(r.p50):>10} "
+                  f"{fmt_time(r.p99):>10} {r.goodput_qps:>8.0f}/s "
+                  f"{r.shed_rate:>6.1%} {r.mean_batch_size:>6.1f}")
+        knees[name] = max_sustainable_qps(points)
+        payload["systems"][name] = {
+            "points": [p.report.to_dict() for p in points],
+            "max_sustainable_qps": knees[name],
+        }
+    print(f"\nmax sustainable QPS (p99 <= {args.slo_ms:g}ms, "
+          "shed <= 1%):")
+    for name, knee in knees.items():
+        print(f"  {name:<10} {knee:>10.0f}")
+    if args.json or args.out:
+        _emit_json(payload, args)
     return 0
 
 
@@ -248,7 +321,39 @@ def build_parser() -> argparse.ArgumentParser:
     _add_workload_args(p)
     p.add_argument("--system", default="DSP", choices=sorted(SYSTEMS))
     p.add_argument("--epochs", type=int, default=3)
+    p.add_argument("--json", action="store_true")
+    p.add_argument("--out", metavar="PATH",
+                   help="write the JSON metrics to PATH instead of stdout")
     p.set_defaults(func=cmd_infer)
+
+    p = sub.add_parser(
+        "serve", help="online inference serving: QPS sweep + SLO knee"
+    )
+    _add_workload_args(p)
+    p.add_argument("--systems", default="DSP",
+                   help="comma-separated systems to sweep (default DSP)")
+    p.add_argument("--qps", default="2000,8000,32000,128000",
+                   help="comma-separated offered loads to sweep")
+    p.add_argument("--requests", type=int, default=256,
+                   help="requests per sweep point (default 256)")
+    p.add_argument("--slo-ms", type=float, default=5.0,
+                   help="p99 latency SLO in milliseconds (default 5)")
+    p.add_argument("--batch-max", type=int, default=16,
+                   help="dynamic batch size cap (default 16)")
+    p.add_argument("--batch-timeout-ms", type=float, default=1.0,
+                   help="dynamic batch max-wait in ms (default 1)")
+    p.add_argument("--queue-capacity", type=int, default=64,
+                   help="per-GPU admission queue bound (default 64)")
+    p.add_argument("--arrival", default="poisson",
+                   choices=["poisson", "bursty", "diurnal"])
+    p.add_argument("--skew", type=float, default=0.8,
+                   help="Zipf popularity exponent for seed nodes")
+    p.add_argument("--functional", action="store_true",
+                   help="run the real forward pass and report accuracy")
+    p.add_argument("--json", action="store_true")
+    p.add_argument("--out", metavar="PATH",
+                   help="write the JSON report to PATH instead of stdout")
+    p.set_defaults(func=cmd_serve)
     return parser
 
 

@@ -23,10 +23,11 @@ from __future__ import annotations
 from repro.cache.loader import FeatureLoader, HostGatherLoader
 from repro.cache.policies import rank_by_degree
 from repro.cache.store import NoCache, ReplicatedCache
-from repro.core.system import TrainingSystem
+from repro.core.system import DSP, TrainingSystem
 from repro.hw.memory import AllocatorKind
 from repro.sampling.cpu import CPUSampler
 from repro.sampling.ops import HostWork, OpTrace, Overhead
+from repro.sampling.pulldata import PullDataSampler
 from repro.sampling.uva import UVASampler
 
 
@@ -142,3 +143,23 @@ class Quiver(TrainingSystem):
         )
         self.store = store
         self.loader = FeatureLoader(self.data.features, store)
+
+
+class PullDSP(DSP):
+    """DSP's layout and cache, with Pull-Data sampling swapped in.
+
+    The alternative CSP design of Fig 11: remote frontier nodes pull
+    whole adjacency lists instead of pushing sampling tasks.  Training
+    and serving comparisons use it to isolate the sampling-primitive
+    choice — everything else (partition, cache, pipeline) is DSP's.
+    """
+
+    name = "DSP-Pull"
+
+    def _prepare(self) -> None:
+        super()._prepare()
+        self.sampler = PullDataSampler(
+            self.sampler.patches,
+            self.sampler.part_offsets,
+            seed=self.config.seed,
+        )

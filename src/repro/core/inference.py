@@ -53,24 +53,29 @@ def full_graph_inference(
     h = data.features.astype(np.float32)
     dst_all = np.repeat(np.arange(n, dtype=np.int64), graph.degrees)
 
+    # Layer-independent boundary accounting, hoisted out of the layer
+    # loop and fully vectorized: only the byte/FLOP scaling below varies
+    # per layer.  pair_nodes[o, g] counts the *unique* boundary sources
+    # GPU ``o`` must send GPU ``g`` (a source crossing into g on many
+    # edges is exchanged once — embeddings are deduplicated, edges are
+    # not), via one bincount over (source node, destination owner) keys.
+    src_owner = owner[graph.indices]
+    dst_owner = owner[dst_all]
+    edges_per_dst_gpu = np.bincount(dst_owner, minlength=k)
+    nodes_per_gpu = np.bincount(owner, minlength=k)
+    cross = src_owner != dst_owner
+    key = graph.indices[cross].astype(np.int64) * k + dst_owner[cross]
+    uniq = np.unique(key)
+    pair_nodes = np.bincount(
+        owner[uniq // k] * k + uniq % k, minlength=k * k
+    ).reshape(k, k)
+
     for layer, conv in enumerate(model.convs):
         # ---- cost: boundary exchange + gather + GEMM per GPU ----------
-        exch = np.zeros((k, k))
-        gather = np.zeros(k)
-        flops = np.zeros(k)
         in_bytes = h.shape[1] * 4
-        src_owner = owner[graph.indices]
-        dst_owner = owner[dst_all]
-        for g in range(k):
-            mine = dst_owner == g
-            gather[g] = float(mine.sum()) * in_bytes
-            n_dst = int((owner == g).sum())
-            flops[g] = n_dst * conv.flops_per_dst
-            remote_src = graph.indices[mine & (src_owner != g)]
-            if len(remote_src):
-                uniq = np.unique(remote_src)
-                for o, cnt in zip(*np.unique(owner[uniq], return_counts=True)):
-                    exch[o, g] += cnt * in_bytes
+        exch = pair_nodes * float(in_bytes)
+        gather = edges_per_dst_gpu * float(in_bytes)
+        flops = nodes_per_gpu * float(conv.flops_per_dst)
         trace.add(AllToAll(exch, label=f"infer-boundary-L{layer}"))
         trace.add(LocalKernel("gather", gather, label=f"infer-gather-L{layer}"))
         trace.add(LocalKernel("compute", flops, label=f"infer-gemm-L{layer}"))

@@ -445,11 +445,12 @@ def build_system(name: str, config: RunConfig) -> TrainingSystem:
     return cls(config)
 
 
-from repro.core.baselines import PyG, DGLCPU, DGLUVA, Quiver  # noqa: E402
+from repro.core.baselines import PyG, DGLCPU, DGLUVA, PullDSP, Quiver  # noqa: E402
 
 SYSTEMS = {
     "DSP": DSP,
     "DSP-Seq": DSPSeq,
+    "DSP-Pull": PullDSP,
     "PyG": PyG,
     "DGL-CPU": DGLCPU,
     "DGL-UVA": DGLUVA,

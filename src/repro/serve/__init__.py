@@ -1,0 +1,39 @@
+"""Online GNN inference serving on the simulated cluster.
+
+Turns the offline training simulator into a traffic-serving one: an
+open-loop workload generator (:mod:`repro.serve.workload`), a per-GPU
+dynamic batcher with bounded admission and load shedding
+(:mod:`repro.serve.batcher`), a per-GPU sample -> load -> compute
+serving pipeline over the discrete-event engine
+(:mod:`repro.serve.service`), SLO accounting
+(:mod:`repro.serve.stats`) and a QPS-sweep driver that locates the
+saturation knee (:mod:`repro.serve.sweep`).  See ``docs/serving.md``.
+"""
+
+from repro.serve.batcher import AdmissionBatcher, BatcherConfig
+from repro.serve.service import GNNServer, ServeConfig
+from repro.serve.stats import ServeReport, build_report
+from repro.serve.sweep import (
+    SweepPoint,
+    max_sustainable_qps,
+    qps_sweep,
+    serve_once,
+)
+from repro.serve.workload import Request, Workload, WorkloadConfig, make_workload
+
+__all__ = [
+    "AdmissionBatcher",
+    "BatcherConfig",
+    "GNNServer",
+    "Request",
+    "ServeConfig",
+    "ServeReport",
+    "SweepPoint",
+    "Workload",
+    "WorkloadConfig",
+    "build_report",
+    "make_workload",
+    "max_sustainable_qps",
+    "qps_sweep",
+    "serve_once",
+]

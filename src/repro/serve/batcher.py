@@ -1,0 +1,177 @@
+"""Per-GPU dynamic batching with bounded admission and load shedding.
+
+Each GPU owns an :class:`AdmissionBatcher`: arriving requests enter a
+bounded admission queue (arrivals beyond ``queue_capacity`` are **shed**
+— an open-loop server must drop rather than queue unboundedly), and a
+batch *closes* when either
+
+- ``batch_max`` requests are pending, or
+- the oldest pending request has waited ``timeout_s``
+
+— the standard max-size / max-wait dynamic batcher.  Under light load
+batches close on the timeout (small batches, latency-bound); as load
+approaches saturation the queue backs up and batches close full
+(throughput-bound) — that transition is the latency–throughput knee the
+sweep driver measures.
+
+The batcher is a simulator citizen: the consumer (the serving
+pipeline's batcher process) blocks on :meth:`next_batch` exactly like a
+:class:`~repro.engine.resources.BoundedQueue` getter, and the producer
+side (:meth:`offer`) is called from the arrivals process at each
+request's arrival instant.  Timeout closes are driven by simulator
+timers, so no wall-clock is involved anywhere.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.engine.simulator import Process, Simulator
+from repro.serve.workload import Request
+from repro.utils.errors import ConfigError, ReproError
+
+
+@dataclass(frozen=True)
+class BatcherConfig:
+    """Dynamic-batching knobs (per GPU)."""
+
+    batch_max: int = 16
+    timeout_s: float = 2e-3
+    queue_capacity: int = 64
+
+    def __post_init__(self) -> None:
+        if self.batch_max < 1:
+            raise ConfigError("batch_max must be positive")
+        if self.timeout_s < 0:
+            raise ConfigError("timeout_s must be non-negative")
+        if self.queue_capacity < 1:
+            raise ConfigError("queue_capacity must be positive")
+
+
+class AdmissionBatcher:
+    """Bounded admission queue + max-size/max-wait batch former."""
+
+    def __init__(self, sim: Simulator, gpu: int, config: BatcherConfig):
+        self.sim = sim
+        self.gpu = gpu
+        self.config = config
+        self.name = f"admit-gpu{gpu}"
+        self.pending: deque[Request] = deque()
+        self.shed: list[Request] = []
+        self.closing = False
+        self._waiter: Process | None = None
+        #: deadline of the armed timeout timer (None = no timer in flight)
+        self._timer_deadline: float | None = None
+
+    # -- producer side (arrivals process) ------------------------------
+    def offer(self, req: Request) -> bool:
+        """Admit ``req`` at the current simulated time; False = shed."""
+        if len(self.pending) >= self.config.queue_capacity:
+            self.shed.append(req)
+            if self.sim.tracer is not None:
+                self.sim.tracer.instant(
+                    self.name, "shed", self.sim.now, cat="shed", rid=req.rid
+                )
+            return False
+        self.pending.append(req)
+        if self.sim.tracer is not None:
+            self._trace_depth()
+        self._service()
+        return True
+
+    def close(self) -> None:
+        """No more arrivals: drain remaining requests, then hand the
+        consumer the ``None`` sentinel."""
+        self.closing = True
+        self._service()
+
+    # -- consumer side (batcher process) --------------------------------
+    def next_batch(self) -> "_NextBatch":
+        """Simulator request: resolves to a list of requests, or to
+        ``None`` once the batcher is closed and drained."""
+        return _NextBatch(self)
+
+    # -- internals -------------------------------------------------------
+    def _ready(self) -> bool:
+        if not self.pending:
+            return False
+        if len(self.pending) >= self.config.batch_max or self.closing:
+            return True
+        oldest = self.pending[0].arrival
+        return self.sim.now - oldest >= self.config.timeout_s
+
+    def _pop_batch(self) -> list[Request]:
+        n = min(len(self.pending), self.config.batch_max)
+        batch = [self.pending.popleft() for _ in range(n)]
+        if self.sim.tracer is not None:
+            self._trace_depth()
+        return batch
+
+    def _service(self) -> None:
+        """Resume a blocked consumer if a batch can close right now,
+        otherwise make sure a timeout timer is armed."""
+        if self._waiter is None:
+            return
+        if self._ready():
+            proc, self._waiter = self._waiter, None
+            self.sim.resume(proc, self._pop_batch())
+        elif self.closing and not self.pending:
+            proc, self._waiter = self._waiter, None
+            self.sim.resume(proc, None)
+        elif self.pending:
+            self._arm_timer()
+
+    def _arm_timer(self) -> None:
+        deadline = self.pending[0].arrival + self.config.timeout_s
+        if self._timer_deadline is not None and self._timer_deadline <= deadline:
+            return  # an earlier (or equal) timer will fire and re-arm
+        self._timer_deadline = deadline
+        self.sim.schedule(
+            max(0.0, deadline - self.sim.now),
+            lambda d=deadline: self._fire(d),
+        )
+
+    def _fire(self, deadline: float) -> None:
+        if self._timer_deadline == deadline:
+            self._timer_deadline = None
+        # Close on the armed deadline itself: re-deriving "has the head
+        # waited timeout_s" from sim.now can disagree with the deadline
+        # by one ulp and re-arm a zero-delay timer forever.
+        if (self._waiter is not None and self.pending
+                and self.pending[0].arrival + self.config.timeout_s
+                <= deadline):
+            proc, self._waiter = self._waiter, None
+            self.sim.resume(proc, self._pop_batch())
+            return
+        self._service()
+
+    def _trace_depth(self) -> None:
+        self.sim.tracer.counter(
+            self.name, "depth", self.sim.now,
+            depth=len(self.pending), shed=len(self.shed),
+        )
+
+
+@dataclass
+class _NextBatch:
+    """The blocking request yielded by the consumer process."""
+
+    batcher: AdmissionBatcher
+    result: object = None
+
+    def __sim_request__(self, sim: Simulator, proc: Process) -> bool:
+        b = self.batcher
+        if b._waiter is not None:
+            raise ReproError(f"{b.name}: only one consumer allowed")
+        if b._ready():
+            self.result = b._pop_batch()
+            return True
+        if b.closing and not b.pending:
+            self.result = None
+            return True
+        proc.waiting_on = f"get({b.name})"  # classified as queue-wait
+        b._waiter = proc
+        if b.pending:
+            b._arm_timer()
+        return False

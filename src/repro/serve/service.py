@@ -1,0 +1,321 @@
+"""The serving pipeline: batches -> CSP sample -> cache load -> forward.
+
+:class:`GNNServer` wraps any built
+:class:`~repro.core.system.TrainingSystem` and serves an open-loop
+request stream on the discrete-event engine.  Per GPU it runs four
+simulator processes connected by bounded queues (mirroring the
+training pipeline of §5, but per *request batch* instead of per
+training mini-batch):
+
+``feeder``   closes dynamic batches (:mod:`repro.serve.batcher`) and
+             pushes them into the pipeline — when the pipeline is
+             behind, the push blocks, admission backs up and sheds;
+``sampler``  runs the system's sampler (CSP for DSP, Pull-Data or UVA
+             for the baselines) for the batch's ego networks;
+``loader``   fetches features through the system's cache loader;
+``compute``  prices (and, with ``functional=True``, actually runs) the
+             model forward pass and completes the batch's requests.
+
+Requests are routed to the GPU owning their seed's graph patch (DSP's
+co-partitioning, §3.1); systems without a partition round-robin.  Seed
+ids arrive in the dataset's *original* numbering and are mapped into
+the system's renumbered space, so identical workloads are comparable
+across systems.
+
+Cost semantics: each of a batch's ops runs for its barrier wall time
+(``OpCost.stage``) on the driving GPU, holding that GPU's SM footprint
+and — for collectives — one of its communication channels.  Remote
+GPUs' transient participation in a batch's all-to-alls is charged to
+the batch's latency but not modelled as SM contention on the peers;
+concurrent batches on one GPU do contend for its SMs and channels.
+
+With a :class:`~repro.obs.Tracer` attached the run emits op spans
+(tagged gpu/stage/batch), wait spans, SM/channel/queue-depth counters,
+admission-depth counters and shed instants; with no tracer attached no
+event object is allocated anywhere (same zero-cost-off guarantee as
+the training pipeline).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.system import COMPUTE_DEDUP_CORRECTION
+from repro.engine import BoundedQueue, Resource, Simulator
+from repro.engine.simulator import Timeout
+from repro.nn import Tensor
+from repro.sampling.ops import LocalKernel, OpTrace
+from repro.serve.batcher import AdmissionBatcher, BatcherConfig
+from repro.serve.stats import RequestRecord, ServeReport, build_report
+from repro.serve.workload import Request
+from repro.utils.errors import ConfigError
+
+#: serving pipeline stages in dependency order
+SERVE_STAGES = ("sample", "load", "compute")
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Server-side knobs (workload knobs live in WorkloadConfig)."""
+
+    batch_max: int = 16
+    batch_timeout_s: float = 2e-3
+    queue_capacity: int = 64
+    slo_s: float = 50e-3
+    #: bounded-queue capacity between serving pipeline stages
+    pipeline_depth: int = 2
+    #: per-GPU communication channels collectives contend for
+    comm_channels: int = 2
+    #: run the real numpy forward pass and record predictions
+    functional: bool = False
+
+    def __post_init__(self) -> None:
+        if self.slo_s <= 0:
+            raise ConfigError("slo_s must be positive")
+        if self.pipeline_depth < 1:
+            raise ConfigError("pipeline_depth must be positive")
+        if self.comm_channels < 1:
+            raise ConfigError("comm_channels must be positive")
+
+    def batcher(self) -> BatcherConfig:
+        return BatcherConfig(
+            batch_max=self.batch_max,
+            timeout_s=self.batch_timeout_s,
+            queue_capacity=self.queue_capacity,
+        )
+
+
+class _Batch:
+    """One dynamic batch moving through the serving pipeline."""
+
+    __slots__ = ("bid", "gpu", "requests", "seeds", "close", "start",
+                 "samples", "feats", "stages")
+
+    def __init__(self, bid: int, gpu: int, requests: list[Request],
+                 seeds: np.ndarray, close: float):
+        self.bid = bid
+        self.gpu = gpu
+        self.requests = requests
+        self.seeds = seeds  # renumbered ids, one per request
+        self.close = close
+        self.start = float("nan")
+        self.samples = None
+        self.feats = None
+        self.stages: dict = {}
+
+
+class GNNServer:
+    """Serve an open-loop request stream on a built training system."""
+
+    def __init__(self, system, config: ServeConfig | None = None,
+                 tracer=None):
+        self.system = system
+        self.config = config if config is not None else ServeConfig()
+        self.tracer = tracer
+        self.k = system.k
+        numbering = getattr(system, "numbering", None)
+        self._old_to_new = None if numbering is None else numbering.old_to_new
+        self._owner_of = getattr(system.sampler, "owner_of", None)
+
+    # -- request routing -------------------------------------------------
+    def map_seed(self, node: int) -> int:
+        """Original-numbering node id -> the system's id space."""
+        if self._old_to_new is None:
+            return int(node)
+        return int(self._old_to_new[node])
+
+    def route(self, req: Request, seed: int) -> int:
+        """GPU that admits the request (patch owner, else round-robin)."""
+        if self._owner_of is not None:
+            return int(self._owner_of(np.asarray([seed]))[0])
+        return req.rid % self.k
+
+    # -- the simulated serving run ----------------------------------------
+    def run(self, requests: list[Request],
+            offered_qps: float | None = None) -> ServeReport:
+        """Serve ``requests`` (sorted by arrival); returns the report."""
+        if not requests:
+            raise ConfigError("need at least one request")
+        system, cfg, k = self.system, self.config, self.k
+        sim = Simulator(tracer=self.tracer)
+        tracer = self.tracer
+
+        threads = [
+            Resource(sim, system.cluster.gpu.total_threads,
+                     name=f"serve-gpu{g}-sm")
+            for g in range(k)
+        ]
+        channels = [
+            Resource(sim, cfg.comm_channels, name=f"serve-gpu{g}-comm")
+            for g in range(k)
+        ]
+        batchers = [AdmissionBatcher(sim, g, cfg.batcher()) for g in range(k)]
+        sampleq = [BoundedQueue(sim, cfg.pipeline_depth, name=f"gpu{g}-sampleq")
+                   for g in range(k)]
+        loadq = [BoundedQueue(sim, cfg.pipeline_depth, name=f"gpu{g}-serveloadq")
+                 for g in range(k)]
+        computeq = [BoundedQueue(sim, cfg.pipeline_depth,
+                                 name=f"gpu{g}-computeq")
+                    for g in range(k)]
+
+        records: dict[int, RequestRecord] = {}
+        route_of: dict[int, int] = {}
+        seed_of: dict[int, int] = {}
+        for req in requests:
+            seed = self.map_seed(req.node)
+            gpu = self.route(req, seed)
+            seed_of[req.rid] = seed
+            route_of[req.rid] = gpu
+            records[req.rid] = RequestRecord(
+                rid=req.rid, node=req.node, arrival=req.arrival, gpu=gpu
+            )
+        batch_count = [0]
+
+        def run_op(g: int, cost, stage: str, bid: int, track: str):
+            t0 = sim.now
+            if cost.host:
+                yield Timeout(float(cost.stage))
+            else:
+                footprint = min(cost.threads, threads[g].capacity)
+                if cost.collective:
+                    yield channels[g].acquire(1)
+                yield threads[g].acquire(footprint)
+                yield Timeout(float(cost.stage))
+                threads[g].release(footprint)
+                if cost.collective:
+                    channels[g].release(1)
+            if tracer is not None:
+                tracer.span(track, cost.label, cat=stage, start=t0,
+                            end=sim.now, gpu=g, stage=stage, batch=bid,
+                            collective=cost.collective)
+
+        def arrivals():
+            for req in requests:
+                if req.arrival > sim.now:
+                    yield Timeout(req.arrival - sim.now)
+                if not batchers[route_of[req.rid]].offer(req):
+                    records[req.rid].shed = True
+            for b in batchers:
+                b.close()
+
+        def feeder(g: int):
+            while True:
+                reqs = yield batchers[g].next_batch()
+                if reqs is None:
+                    yield sampleq[g].put(None)
+                    return
+                bid = batch_count[0]
+                batch_count[0] += 1
+                seeds = np.array([seed_of[r.rid] for r in reqs],
+                                 dtype=np.int64)
+                batch = _Batch(bid, g, reqs, seeds, close=sim.now)
+                for r in reqs:
+                    rec = records[r.rid]
+                    rec.batch_id = bid
+                    rec.close = sim.now
+                if tracer is not None:
+                    tracer.instant(f"batcher-gpu{g}", "batch-close", sim.now,
+                                   cat="batch", batch=bid, size=len(reqs))
+                yield sampleq[g].put(batch)
+
+        def sampler(g: int):
+            track = f"sampler-gpu{g}"
+            while True:
+                batch = yield sampleq[g].get()
+                if batch is None:
+                    yield loadq[g].put(None)
+                    return
+                batch.start = sim.now
+                t0 = sim.now
+                per_gpu = [np.empty(0, dtype=np.int64) for _ in range(k)]
+                per_gpu[g] = batch.seeds
+                samples, trace = system._sample(per_gpu)
+                for cost in system.engine.trace_cost(trace):
+                    yield from run_op(g, cost, "sample", batch.bid, track)
+                batch.samples = samples
+                batch.stages["sample"] = sim.now - t0
+                yield loadq[g].put(batch)
+
+        def loader(g: int):
+            track = f"loader-gpu{g}"
+            while True:
+                batch = yield loadq[g].get()
+                if batch is None:
+                    yield computeq[g].put(None)
+                    return
+                t0 = sim.now
+                feats, trace, _stats = system._load(
+                    [s.all_nodes for s in batch.samples]
+                )
+                for cost in system.engine.trace_cost(trace):
+                    yield from run_op(g, cost, "load", batch.bid, track)
+                batch.feats = feats
+                batch.stages["load"] = sim.now - t0
+                yield computeq[g].put(batch)
+
+        def compute(g: int):
+            track = f"infer-gpu{g}"
+            while True:
+                batch = yield computeq[g].get()
+                if batch is None:
+                    return
+                t0 = sim.now
+                sample = batch.samples[g]
+                flops = np.zeros(k)
+                flops[g] = (system.models[g].forward_flops(sample)
+                            * COMPUTE_DEDUP_CORRECTION)
+                trace = OpTrace()
+                trace.add(LocalKernel("compute", flops, label="serve-infer"))
+                for cost in system.engine.trace_cost(trace):
+                    yield from run_op(g, cost, "compute", batch.bid, track)
+                batch.stages["compute"] = sim.now - t0
+                preds = None
+                if cfg.functional and len(sample.seeds):
+                    out = system.models[g](sample, Tensor(batch.feats[g]),
+                                           training=False)
+                    preds = np.argmax(out.data, axis=1)
+                for i, r in enumerate(batch.requests):
+                    rec = records[r.rid]
+                    rec.done = sim.now
+                    rec.stages = {
+                        "queue": rec.close - rec.arrival,
+                        "batch": batch.start - rec.close,
+                        **batch.stages,
+                    }
+                    if preds is not None:
+                        rec.prediction = int(preds[i])
+
+        if tracer is not None:
+            for g in range(k):
+                tracer.declare_track(f"batcher-gpu{g}", group=f"gpu{g}", sort=0)
+                tracer.declare_track(f"sampler-gpu{g}", group=f"gpu{g}", sort=1)
+                tracer.declare_track(f"loader-gpu{g}", group=f"gpu{g}", sort=2)
+                tracer.declare_track(f"infer-gpu{g}", group=f"gpu{g}", sort=3)
+        sim.spawn(arrivals(), name="arrivals")
+        for g in range(k):
+            sim.spawn(feeder(g), name=f"batcher-gpu{g}")
+            sim.spawn(sampler(g), name=f"sampler-gpu{g}")
+            sim.spawn(loader(g), name=f"loader-gpu{g}")
+            sim.spawn(compute(g), name=f"infer-gpu{g}")
+        sim.run()
+
+        ordered = [records[r.rid] for r in requests]
+        accuracy = float("nan")
+        if cfg.functional:
+            done = [r for r in ordered if not r.shed and r.prediction is not None]
+            if done:
+                labels = system.data.labels
+                hits = sum(
+                    int(r.prediction == int(labels[seed_of[r.rid]]))
+                    for r in done
+                )
+                accuracy = hits / len(done)
+        if offered_qps is None:
+            span = max(r.arrival for r in requests)
+            offered_qps = len(requests) / span if span > 0 else float("nan")
+        return build_report(
+            system.name, offered_qps, cfg.slo_s, ordered, batch_count[0],
+            accuracy=accuracy,
+        )

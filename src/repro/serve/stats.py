@@ -1,0 +1,159 @@
+"""SLO accounting for serving runs: percentiles, goodput, shed rate.
+
+A request's latency decomposes into five stages (all simulated time):
+
+- ``queue``   — arrival until its batch closed (admission + batching);
+- ``batch``   — batch close until the pipeline started sampling it
+  (dispatch backpressure when the GPU's pipeline is behind);
+- ``sample`` / ``load`` / ``compute`` — wall time of the batch inside
+  each pipeline stage, including resource waits.
+
+Goodput counts only requests that finished within the SLO; shed
+requests never execute, so they hurt goodput through the shed rate,
+not the percentiles (standard open-loop methodology: latency is
+reported over completed requests, shedding is reported separately).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.metrics import scrub_nan
+
+#: latency stages in pipeline order
+STAGE_NAMES = ("queue", "batch", "sample", "load", "compute")
+
+
+@dataclass
+class RequestRecord:
+    """Per-request outcome, filled in by the serving pipeline."""
+
+    rid: int
+    node: int
+    arrival: float
+    gpu: int = -1
+    batch_id: int = -1
+    shed: bool = False
+    close: float = float("nan")  # batch-close instant
+    start: float = float("nan")  # pipeline entry (sample start)
+    done: float = float("nan")  # compute finished
+    stages: dict = field(default_factory=dict)  # stage -> seconds
+    prediction: int | None = None  # functional runs only
+
+    @property
+    def latency(self) -> float:
+        return self.done - self.arrival
+
+
+@dataclass
+class ServeReport:
+    """Aggregate SLO view of one serving run at one offered load."""
+
+    system: str
+    offered_qps: float
+    slo_s: float
+    offered: int
+    completed: int
+    shed: int
+    elapsed: float  # first arrival -> last completion (sim seconds)
+    throughput_qps: float
+    goodput_qps: float  # completed within the SLO, per second
+    shed_rate: float
+    slo_attainment: float  # in-SLO completions / offered
+    p50: float
+    p95: float
+    p99: float
+    mean_latency: float
+    max_latency: float
+    stage_means: dict  # stage name -> mean seconds over completions
+    mean_batch_size: float
+    num_batches: int
+    accuracy: float = float("nan")  # functional runs with labels only
+
+    def to_dict(self) -> dict:
+        return {
+            "system": self.system,
+            "offered_qps": self.offered_qps,
+            "slo_ms": self.slo_s * 1e3,
+            "offered": self.offered,
+            "completed": self.completed,
+            "shed": self.shed,
+            "elapsed_s": scrub_nan(self.elapsed),
+            "throughput_qps": scrub_nan(self.throughput_qps),
+            "goodput_qps": scrub_nan(self.goodput_qps),
+            "shed_rate": self.shed_rate,
+            "slo_attainment": self.slo_attainment,
+            "latency_ms": {
+                "p50": scrub_nan(self.p50 * 1e3),
+                "p95": scrub_nan(self.p95 * 1e3),
+                "p99": scrub_nan(self.p99 * 1e3),
+                "mean": scrub_nan(self.mean_latency * 1e3),
+                "max": scrub_nan(self.max_latency * 1e3),
+            },
+            "stage_means_ms": {
+                k: scrub_nan(v * 1e3) for k, v in self.stage_means.items()
+            },
+            "mean_batch_size": scrub_nan(self.mean_batch_size),
+            "num_batches": self.num_batches,
+            "accuracy": scrub_nan(self.accuracy),
+        }
+
+
+def build_report(
+    system: str,
+    offered_qps: float,
+    slo_s: float,
+    records: list[RequestRecord],
+    num_batches: int,
+    accuracy: float = float("nan"),
+) -> ServeReport:
+    """Aggregate per-request records into a :class:`ServeReport`."""
+    offered = len(records)
+    done = [r for r in records if not r.shed]
+    shed = offered - len(done)
+    latencies = np.array([r.latency for r in done]) if done else np.empty(0)
+    last_event = max(
+        [r.arrival for r in records] + [r.done for r in done], default=0.0
+    )
+    elapsed = float(last_event)
+    within = int((latencies <= slo_s).sum()) if len(latencies) else 0
+
+    if len(latencies):
+        p50, p95, p99 = (
+            float(np.percentile(latencies, q)) for q in (50, 95, 99)
+        )
+        mean_lat = float(latencies.mean())
+        max_lat = float(latencies.max())
+    else:
+        p50 = p95 = p99 = mean_lat = max_lat = float("nan")
+
+    stage_means = {}
+    for name in STAGE_NAMES:
+        vals = [r.stages.get(name, 0.0) for r in done]
+        stage_means[name] = float(np.mean(vals)) if vals else float("nan")
+
+    batch_sizes = len(done) / num_batches if num_batches else float("nan")
+    return ServeReport(
+        system=system,
+        offered_qps=offered_qps,
+        slo_s=slo_s,
+        offered=offered,
+        completed=len(done),
+        shed=shed,
+        elapsed=elapsed,
+        throughput_qps=len(done) / elapsed if elapsed > 0 else float("nan"),
+        goodput_qps=within / elapsed if elapsed > 0 else float("nan"),
+        shed_rate=shed / offered if offered else 0.0,
+        slo_attainment=within / offered if offered else 0.0,
+        p50=p50,
+        p95=p95,
+        p99=p99,
+        mean_latency=mean_lat,
+        max_latency=max_lat,
+        stage_means=stage_means,
+        mean_batch_size=batch_sizes,
+        num_batches=num_batches,
+        accuracy=accuracy,
+    )

@@ -1,0 +1,85 @@
+"""QPS sweep driver: offered load vs latency, and the saturation knee.
+
+Replays one :class:`~repro.serve.workload.Workload` at a ladder of
+offered loads (the same arrival pattern, time-compressed — common
+random numbers) and reports, per point, the full SLO accounting.  The
+*knee* is the largest offered QPS the server sustains: p99 latency
+within the SLO and (at most) a token shed rate.  Comparing knees across
+systems is the serving analogue of Table 4 — DSP's partitioned cache +
+CSP sampling buy it a strictly higher sustainable QPS than Pull-Data
+or UVA data movement at the same SLO.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.serve.service import GNNServer, ServeConfig
+from repro.serve.stats import ServeReport
+from repro.serve.workload import Workload
+from repro.utils.errors import ConfigError
+from repro.utils.rng import make_rng, spawn_rngs
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One offered load and the report the server produced under it."""
+
+    qps: float
+    report: ServeReport
+
+
+def _reseed_sampler(system) -> None:
+    """Restore the sampler's RNG streams to their built state so every
+    sweep point samples the same neighbourhoods (comparability)."""
+    sampler = getattr(system, "sampler", None)
+    rngs = getattr(sampler, "rngs", None)
+    if rngs is not None:
+        sampler.rngs = spawn_rngs(make_rng(system.config.seed), len(rngs))
+
+
+def serve_once(
+    system,
+    workload: Workload,
+    qps: float,
+    config: ServeConfig | None = None,
+    tracer=None,
+) -> ServeReport:
+    """Serve ``workload`` at one offered QPS; sampler RNGs are reset
+    first so points of a sweep are independent and reproducible."""
+    _reseed_sampler(system)
+    server = GNNServer(system, config, tracer=tracer)
+    return server.run(workload.requests(qps), offered_qps=qps)
+
+
+def qps_sweep(
+    system,
+    workload: Workload,
+    qps_values,
+    config: ServeConfig | None = None,
+) -> list[SweepPoint]:
+    """Serve the workload at each offered load, in increasing order."""
+    values = sorted(float(q) for q in qps_values)
+    if not values:
+        raise ConfigError("need at least one QPS value")
+    return [
+        SweepPoint(qps=q, report=serve_once(system, workload, q, config))
+        for q in values
+    ]
+
+
+def max_sustainable_qps(
+    points: list[SweepPoint],
+    slo_s: float | None = None,
+    shed_tol: float = 0.01,
+) -> float:
+    """The knee: largest offered QPS with p99 <= SLO and shed rate <=
+    ``shed_tol`` (0.0 when no point qualifies)."""
+    best = 0.0
+    for p in points:
+        slo = p.report.slo_s if slo_s is None else slo_s
+        if p.report.completed == 0:
+            continue
+        if p.report.p99 <= slo and p.report.shed_rate <= shed_tol:
+            best = max(best, p.qps)
+    return best

@@ -58,6 +58,31 @@ class TestInference:
         cut = edge_cut(trained.data.graph, Partition(owner, trained.k))
         assert first.matrix.sum() <= cut * trained.data.feature_dim * 4
 
+    def test_boundary_bytes_are_unique_cross_sources(self, trained):
+        """Under the METIS partition, layer-0 boundary exchange equals
+        the number of *unique* cross-patch source nodes (per receiving
+        GPU) times the embedding width — a source feeding many edges
+        into a patch is sent once."""
+        _, trace = full_graph_inference(trained)
+        first = next(op for op in trace if isinstance(op, AllToAll))
+        graph = trained.data.graph
+        n = graph.num_nodes
+        owner = trained.sampler.owner_of(np.arange(n))
+        dst = np.repeat(np.arange(n), graph.degrees)
+        src = graph.indices
+        width = trained.data.feature_dim * 4
+        for g in range(trained.k):
+            remote = src[(owner[dst] == g) & (owner[src] != g)]
+            uniq = np.unique(remote)
+            assert first.matrix[:, g].sum() == pytest.approx(
+                len(uniq) * width
+            )
+            # and the per-sender split matches each sender's share
+            for o in range(trained.k):
+                assert first.matrix[o, g] == pytest.approx(
+                    int((owner[uniq] == o).sum()) * width
+                )
+
     def test_inference_cost_positive(self, trained):
         _, trace = full_graph_inference(trained)
         t = trained.engine.stage_time(trace)

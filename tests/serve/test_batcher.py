@@ -1,0 +1,149 @@
+"""Tests for the per-GPU dynamic batcher (max-size / max-wait)."""
+
+import pytest
+
+from repro.engine import Simulator
+from repro.engine.simulator import Timeout
+from repro.serve.batcher import AdmissionBatcher, BatcherConfig
+from repro.serve.workload import Request
+from repro.utils import ConfigError, ReproError
+
+
+def harness(offers, config, consume_delay=0.0, hold=0.0):
+    """Drive a batcher with timed ``offers``; collect closed batches.
+
+    ``hold`` keeps the stream open that long after the last offer (so
+    timeout closes can be observed before the end-of-stream drain).
+    Returns (batches, shed, close_times) where ``batches`` are lists of
+    rids in close order.
+    """
+    sim = Simulator()
+    b = AdmissionBatcher(sim, 0, config)
+    shed = []
+
+    def arrivals():
+        for req in offers:
+            if req.arrival > sim.now:
+                yield Timeout(req.arrival - sim.now)
+            if not b.offer(req):
+                shed.append(req.rid)
+        if hold:
+            yield Timeout(hold)
+        b.close()
+
+    batches, closes = [], []
+
+    def consumer():
+        while True:
+            got = yield b.next_batch()
+            if got is None:
+                return
+            batches.append([r.rid for r in got])
+            closes.append(sim.now)
+            if consume_delay:
+                yield Timeout(consume_delay)
+
+    sim.spawn(arrivals(), name="arrivals")
+    sim.spawn(consumer(), name="consumer")
+    sim.run()
+    return batches, shed, closes
+
+
+def reqs(arrivals):
+    return [Request(rid=i, node=i, arrival=t)
+            for i, t in enumerate(arrivals)]
+
+
+class TestClosing:
+    def test_closes_full_at_batch_max(self):
+        """Simultaneous arrivals beyond batch_max split into full
+        batches immediately, no timeout wait."""
+        batches, shed, closes = harness(
+            reqs([0.0] * 7), BatcherConfig(batch_max=3, timeout_s=1.0)
+        )
+        assert [len(b) for b in batches] == [3, 3, 1]
+        assert shed == []
+        assert closes[0] == 0.0 and closes[1] == 0.0
+
+    def test_closes_on_timeout(self):
+        """A lone request waits exactly timeout_s, then closes."""
+        batches, _, closes = harness(
+            reqs([1.0]), BatcherConfig(batch_max=8, timeout_s=0.25),
+            hold=5.0,
+        )
+        assert batches == [[0]]
+        assert closes[0] == pytest.approx(1.25)
+
+    def test_timeout_measured_from_oldest(self):
+        """Later arrivals do not extend the oldest request's deadline."""
+        batches, _, closes = harness(
+            reqs([0.0, 0.2, 0.4]), BatcherConfig(batch_max=8, timeout_s=0.5),
+            hold=5.0,
+        )
+        assert batches == [[0, 1, 2]]
+        assert closes[0] == pytest.approx(0.5)
+
+    def test_fifo_order_preserved(self):
+        batches, _, _ = harness(
+            reqs([0.0, 0.1, 0.2, 0.3]), BatcherConfig(batch_max=2,
+                                                      timeout_s=10.0)
+        )
+        assert batches == [[0, 1], [2, 3]]
+
+    def test_close_drains_partial_batch(self):
+        """End of stream flushes whatever is pending without waiting
+        for the timeout."""
+        batches, _, closes = harness(
+            reqs([0.0]), BatcherConfig(batch_max=8, timeout_s=100.0)
+        )
+        assert batches == [[0]]
+        assert closes[0] == pytest.approx(0.0)
+
+
+class TestShedding:
+    def test_sheds_beyond_capacity(self):
+        """Simultaneous arrivals beyond the admission bound are
+        dropped, not queued (all ten land before the consumer runs)."""
+        batches, shed, _ = harness(
+            reqs([0.0] * 10),
+            BatcherConfig(batch_max=4, timeout_s=1.0, queue_capacity=4),
+            consume_delay=50.0,
+        )
+        assert shed == [4, 5, 6, 7, 8, 9]
+        assert sum(len(b) for b in batches) == 4
+
+    def test_no_shed_when_consumer_keeps_up(self):
+        _, shed, _ = harness(
+            reqs([i * 0.1 for i in range(20)]),
+            BatcherConfig(batch_max=4, timeout_s=0.05, queue_capacity=4),
+        )
+        assert shed == []
+
+
+class TestProtocol:
+    def test_single_consumer_enforced(self):
+        sim = Simulator()
+        b = AdmissionBatcher(sim, 0, BatcherConfig())
+
+        def consumer():
+            yield b.next_batch()
+
+        sim.spawn(consumer(), name="c1")
+        sim.spawn(consumer(), name="c2")
+        with pytest.raises(ReproError, match="one consumer"):
+            sim.run()
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigError):
+            BatcherConfig(batch_max=0)
+        with pytest.raises(ConfigError):
+            BatcherConfig(timeout_s=-1.0)
+        with pytest.raises(ConfigError):
+            BatcherConfig(queue_capacity=0)
+
+    def test_zero_timeout_closes_immediately(self):
+        """timeout_s=0 degenerates to no batching across arrivals."""
+        batches, _, _ = harness(
+            reqs([0.0, 0.5, 1.0]), BatcherConfig(batch_max=8, timeout_s=0.0)
+        )
+        assert batches == [[0], [1], [2]]

@@ -73,6 +73,46 @@ class TestCLI:
         out = capsys.readouterr().out
         assert "full-graph inference" in out
 
+    def test_infer_json(self, capsys):
+        assert main(["infer", *ARGS, "--epochs", "1", "--json"]) == 0
+        out = capsys.readouterr().out
+        payload = json.loads(out[out.index("{"):])
+        assert len(payload["epochs"]) == 1
+        assert 0.0 <= payload["inference"]["test_accuracy"] <= 1.0
+        assert payload["inference"]["simulated_time_s"] > 0
+
+    def test_infer_out_writes_file(self, capsys, tmp_path):
+        path = tmp_path / "infer.json"
+        assert main(["infer", *ARGS, "--epochs", "1",
+                     "--out", str(path)]) == 0
+        assert f"wrote {path}" in capsys.readouterr().out
+        assert "inference" in json.loads(path.read_text())
+
+    def test_serve(self, capsys):
+        assert main(["serve", *ARGS, "--requests", "32",
+                     "--qps", "2000,500", "--json"]) == 0
+        out = capsys.readouterr().out
+        assert "max sustainable QPS" in out
+        payload = json.loads(out[out.index("{"):])
+        points = payload["systems"]["DSP"]["points"]
+        assert [p["offered_qps"] for p in points] == [500.0, 2000.0]
+        assert "max_sustainable_qps" in payload["systems"]["DSP"]
+
+    def test_serve_multi_system_out(self, capsys, tmp_path):
+        path = tmp_path / "serve.json"
+        assert main(["serve", *ARGS, "--systems", "DSP,DGL-UVA",
+                     "--requests", "32", "--qps", "1000",
+                     "--functional", "--out", str(path)]) == 0
+        assert f"wrote {path}" in capsys.readouterr().out
+        payload = json.loads(path.read_text())
+        assert set(payload["systems"]) == {"DSP", "DGL-UVA"}
+        acc = payload["systems"]["DSP"]["points"][0]["accuracy"]
+        assert 0.0 <= acc <= 1.0
+
+    def test_serve_bad_arrival_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--arrival", "uniform"])
+
     def test_parser_rejects_unknown_system(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["train", "--system", "magic"])
