@@ -1,0 +1,30 @@
+"""Perf microbenchmark: the CSP layer round (flat-batch fast path).
+
+Wall-clock (not simulated) time of ``CollectiveSampler.sample`` on the
+8-GPU, 3-layer node-wise workload, fast path vs the chunked reference
+implementation.  ``REPRO_BENCH_QUICK=1`` shrinks the dataset and
+iteration counts.  Run ``repro perf`` for the JSON trajectory
+(``BENCH_perf.json``); see ``docs/performance.md``.
+"""
+
+from repro.bench.harness import fmt_table, quick_mode
+from repro.bench.perf import bench_csp_layer
+
+
+def test_csp_layer_round(emit):
+    r = bench_csp_layer(quick=quick_mode())
+    emit(fmt_table(
+        "perf: CSP layer round (wall-clock)",
+        ["before", "after", "speedup", "Medges/s"],
+        [("csp", [
+            f"{r['wall_s_before'] * 1e3:.2f}ms",
+            f"{r['wall_s_after'] * 1e3:.2f}ms",
+            f"{r['speedup']:.2f}x",
+            f"{r['sampled_edges_per_s'] / 1e6:.2f}",
+        ])],
+    ))
+    assert r["wall_s_after"] > 0 and r["wall_s_before"] > 0
+    assert r["sampled_edges_per_s"] > 0
+    # the acceptance bar is 2x on the full-size bench; keep a safety
+    # margin against machine noise (quick mode is fixed-cost dominated)
+    assert r["speedup"] > (1.0 if quick_mode() else 1.5)

@@ -1,0 +1,24 @@
+"""Perf microbenchmark: a costed DSP training epoch end to end.
+
+Wall-clock of ``run_epoch(functional=False)`` — sampling + loading +
+cost accounting + pipeline replay — with the fast sampling path vs the
+chunked reference path.
+"""
+
+from repro.bench.harness import fmt_table, quick_mode
+from repro.bench.perf import bench_epoch
+
+
+def test_epoch(emit):
+    r = bench_epoch(quick=quick_mode())
+    emit(fmt_table(
+        "perf: costed epoch (wall-clock)",
+        ["before", "after", "speedup", "batches/s"],
+        [("epoch", [
+            f"{r['wall_s_before'] * 1e3:.2f}ms",
+            f"{r['wall_s_after'] * 1e3:.2f}ms",
+            f"{r['speedup']:.2f}x",
+            f"{r['batches_per_s']:.1f}",
+        ])],
+    ))
+    assert r["wall_s_after"] > 0 and r["batches_per_s"] > 0

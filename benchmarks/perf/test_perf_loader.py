@@ -1,0 +1,53 @@
+"""Perf microbenchmark: FeatureLoader.load, vectorized vs seed loop.
+
+Also asserts the vectorized loader is *equivalent* to the seed's
+per-holder implementation (kept in ``repro.bench.perf`` as the oracle):
+same feature matrices, same byte matrices, same hit statistics.
+"""
+
+import numpy as np
+
+from repro.bench.harness import fmt_table, quick_mode
+from repro.bench.perf import _reference_load, bench_feature_load
+from repro.cache.loader import FeatureLoader
+from repro.cache.store import PartitionedCache
+
+
+def test_feature_load(emit):
+    r = bench_feature_load(quick=quick_mode())
+    emit(fmt_table(
+        "perf: feature load (wall-clock)",
+        ["before", "after", "speedup", "Mrows/s"],
+        [("load", [
+            f"{r['wall_s_before'] * 1e3:.2f}ms",
+            f"{r['wall_s_after'] * 1e3:.2f}ms",
+            f"{r['speedup']:.2f}x",
+            f"{r['rows_per_s'] / 1e6:.2f}",
+        ])],
+    ))
+    assert r["wall_s_after"] > 0 and r["rows_per_s"] > 0
+
+
+def test_vectorized_loader_matches_seed_implementation():
+    rng = np.random.default_rng(0)
+    n, k = 4_000, 4
+    offsets = np.linspace(0, n, k + 1).astype(np.int64)
+    store = PartitionedCache(offsets, rng.permutation(n), budget_nodes=n // 8)
+    features = rng.random((n, 16)).astype(np.float32)
+    loader = FeatureLoader(features, store)
+    requests = [rng.integers(0, n, size=600) for _ in range(k)]
+
+    out_a, trace_a, stats_a = loader.load(requests)
+    out_b, trace_b, stats_b = _reference_load(loader, requests)
+    assert stats_a == stats_b
+    for a, b in zip(out_a, out_b):
+        assert np.array_equal(a, b)
+    (group_a,), (group_b,) = trace_a.ops, trace_b.ops
+    for branch_a, branch_b in zip(group_a.branches, group_b.branches):
+        for op_a, op_b in zip(branch_a, branch_b):
+            assert type(op_a) is type(op_b) and op_a.label == op_b.label
+            for attr in ("matrix", "work", "items"):
+                if hasattr(op_a, attr):
+                    assert np.array_equal(
+                        getattr(op_a, attr), getattr(op_b, attr)
+                    )

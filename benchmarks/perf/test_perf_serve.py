@@ -1,0 +1,26 @@
+"""Perf microbenchmark: one online-serving sweep point.
+
+Wall-clock of ``serve_once`` — the discrete-event loop, dynamic
+batcher, CSP sampling and cache loading for an open-loop request
+stream — with the fast sampling path vs the chunked reference path.
+The simulator's event dispatch (``__slots__`` Process, tuple dispatch)
+is on this path too.
+"""
+
+from repro.bench.harness import fmt_table, quick_mode
+from repro.bench.perf import bench_serve_batch
+
+
+def test_serve_batch(emit):
+    r = bench_serve_batch(quick=quick_mode())
+    emit(fmt_table(
+        "perf: serving sweep point (wall-clock)",
+        ["before", "after", "speedup", "req/s"],
+        [("serve", [
+            f"{r['wall_s_before'] * 1e3:.2f}ms",
+            f"{r['wall_s_after'] * 1e3:.2f}ms",
+            f"{r['speedup']:.2f}x",
+            f"{r['requests_per_wall_s']:.0f}",
+        ])],
+    ))
+    assert r["wall_s_after"] > 0 and r["requests_per_wall_s"] > 0

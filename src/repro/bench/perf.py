@@ -1,0 +1,379 @@
+"""Perf-regression microbenchmarks (``repro perf``).
+
+Real wall-clock measurements of the repository's hot paths — unlike
+the ``benchmarks/test_*`` suite, which reports *simulated* hardware
+time, these benchmarks time the Python implementation itself, so a
+perf PR lands with a measured before/after trajectory instead of a
+claim (see ``docs/performance.md``).
+
+Four microbenchmarks:
+
+- ``csp_layer``   — the CSP shuffle/sample/reshuffle rounds for one
+  mini-batch (8 GPUs, 3 layers, node-wise by default), fast path vs
+  the chunked reference implementation;
+- ``feature_load``— ``FeatureLoader.load`` over one batch's requests,
+  vs the seed's per-holder Python loop (kept here as the *before*
+  measurement);
+- ``epoch``       — a costed (non-functional) training epoch of the
+  DSP system, fast vs reference sampling path;
+- ``serve_batch`` — one ``serve_once`` sweep point of the online
+  serving pipeline, fast vs reference sampling path.
+
+``run_perf`` executes them and returns the ``BENCH_perf.json`` payload:
+per-benchmark wall-clock, batches/s, sampled-edges/s where meaningful,
+and before/after deltas.  ``--quick`` shrinks datasets and iteration
+counts for CI smoke runs (the numbers move; the schema does not).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.cache.loader import ID_BYTES, FeatureLoader
+from repro.cache.store import Placement, PartitionedCache
+from repro.sampling.csp import CollectiveSampler, CSPConfig
+from repro.sampling.ops import (
+    AllToAll,
+    LocalKernel,
+    OpTrace,
+    ParallelGroup,
+    UVAGather,
+)
+
+#: bump when the payload schema changes
+SCHEMA_VERSION = 1
+
+BENCH_NAMES = ("csp_layer", "feature_load", "epoch", "serve_batch")
+
+
+# ----------------------------------------------------------------------
+# plumbing
+# ----------------------------------------------------------------------
+def _time_per_call(fn, iters: int, warmup: int = 1) -> float:
+    """Mean wall-clock seconds per ``fn()`` call over ``iters`` calls."""
+    for _ in range(warmup):
+        fn()
+    t0 = time.perf_counter()
+    for _ in range(iters):
+        fn()
+    return (time.perf_counter() - t0) / iters
+
+
+def _build_sampler(dataset: str, num_gpus: int, seed: int = 0):
+    """A partitioned CollectiveSampler over a cached dataset."""
+    from repro.graph.datasets import load_dataset, load_partition
+    from repro.graph.reorder import renumber_by_partition
+
+    ds = load_dataset(dataset)
+    part = load_partition(dataset, num_gpus, seed=seed)
+    rgraph, _, nb = renumber_by_partition(ds.graph, part)
+    sampler = CollectiveSampler.from_partitioned(
+        rgraph, nb.part_offsets, seed=seed
+    )
+    return sampler, ds, nb
+
+
+def _seed_batch(sampler, per_gpu: int, seed: int = 3):
+    """One mini-batch of co-partitioned seeds (``per_gpu`` per GPU)."""
+    rng = np.random.default_rng(seed)
+    return [
+        rng.choice(
+            np.arange(sampler.part_offsets[g], sampler.part_offsets[g + 1]),
+            size=per_gpu,
+            replace=False,
+        )
+        for g in range(sampler.num_gpus)
+    ]
+
+
+# ----------------------------------------------------------------------
+# 1. CSP layer round — the tentpole measurement
+# ----------------------------------------------------------------------
+def bench_csp_layer(quick: bool = False) -> dict:
+    """Fast-path vs reference CSP rounds: 8 GPUs, 3 node-wise layers."""
+    dataset = "tiny" if quick else "products"
+    per_gpu = 32 if quick else 256
+    iters = 2 if quick else 5
+    num_gpus, fanout = 8, (15, 10, 5)
+    config = CSPConfig(fanout=fanout, scheme="node")
+
+    fast, _, _ = _build_sampler(dataset, num_gpus)
+    ref, _, _ = _build_sampler(dataset, num_gpus)
+    ref.use_fast_path = False
+    seeds = _seed_batch(fast, per_gpu)
+
+    sampled_edges = 0
+
+    def run_fast():
+        nonlocal sampled_edges
+        _, _, stats = fast.sample(seeds, config)
+        sampled_edges = stats.sampled_total
+
+    wall_after = _time_per_call(run_fast, iters)
+    wall_before = _time_per_call(
+        lambda: ref.sample(seeds, config), iters
+    )
+    return {
+        "params": {
+            "dataset": dataset,
+            "num_gpus": num_gpus,
+            "fanout": list(fanout),
+            "scheme": "node",
+            "seeds_per_gpu": per_gpu,
+            "iters": iters,
+        },
+        "wall_s_before": wall_before,
+        "wall_s_after": wall_after,
+        "speedup": wall_before / wall_after,
+        "batches_per_s": 1.0 / wall_after,
+        "sampled_edges_per_s": sampled_edges / wall_after,
+    }
+
+
+# ----------------------------------------------------------------------
+# 2. feature load — vs the seed's per-holder Python loop
+# ----------------------------------------------------------------------
+def _reference_load(
+    loader: FeatureLoader, requests_per_gpu: list[np.ndarray]
+) -> tuple[list[np.ndarray], OpTrace, dict]:
+    """The seed implementation of :meth:`FeatureLoader.load`, verbatim.
+
+    Kept here as the *before* measurement (and an equivalence oracle)
+    for the vectorized loader: duplicated ``loc.count`` calls and a
+    per-holder Python loop.
+    """
+    k = loader.store.num_gpus
+    out: list[np.ndarray] = []
+    pos_req = np.zeros((k, k), dtype=np.float64)
+    feat_resp = np.zeros((k, k), dtype=np.float64)
+    local_bytes = np.zeros(k, dtype=np.float64)
+    cold_items = np.zeros(k, dtype=np.float64)
+    stats = {"local": 0, "remote": 0, "cold": 0}
+
+    for g, req in enumerate(requests_per_gpu):
+        nodes = np.unique(np.asarray(req, dtype=np.int64))
+        out.append(loader.features[nodes])
+        loc = loader.store.locate(nodes, g)
+        stats["local"] += loc.count(Placement.LOCAL)
+        stats["remote"] += loc.count(Placement.REMOTE)
+        stats["cold"] += loc.count(Placement.COLD)
+
+        local_bytes[g] = loc.count(Placement.LOCAL) * loader.row_bytes
+        cold_items[g] = loc.count(Placement.COLD)
+        remote = loc.placement == Placement.REMOTE
+        if remote.any():
+            holders, counts = np.unique(loc.holder[remote], return_counts=True)
+            for o, c in zip(holders, counts):
+                pos_req[g, o] += c * ID_BYTES
+                feat_resp[o, g] += c * loader.row_bytes
+
+    hot_branch = [
+        AllToAll(pos_req, label="feat-pos-req"),
+        AllToAll(feat_resp, label="feat-hot"),
+        LocalKernel("gather", local_bytes, label="feat-local"),
+    ]
+    cold_branch = [
+        UVAGather(cold_items, item_bytes=loader.row_bytes, label="feat-cold")
+    ]
+    trace = OpTrace()
+    trace.add(
+        ParallelGroup(branches=(tuple(hot_branch), tuple(cold_branch)),
+                      label="feature-load")
+    )
+    stats["local_bytes"] = stats["local"] * loader.row_bytes
+    stats["remote_bytes"] = stats["remote"] * loader.row_bytes
+    stats["cold_bytes"] = stats["cold"] * loader.row_bytes
+    return out, trace, stats
+
+
+def bench_feature_load(quick: bool = False) -> dict:
+    """Vectorized loader vs the seed loop over one batch's requests."""
+    dataset = "tiny" if quick else "products"
+    per_gpu = 32 if quick else 256
+    iters = 3 if quick else 10
+    num_gpus = 8
+
+    sampler, ds, nb = _build_sampler(dataset, num_gpus)
+    seeds = _seed_batch(sampler, per_gpu)
+    samples, _, _ = sampler.sample(
+        seeds, CSPConfig(fanout=(15, 10, 5), scheme="node")
+    )
+    requests = [s.all_nodes for s in samples]
+
+    # cache half of each patch so all three paths (local/remote/cold)
+    # are exercised
+    budget = max(1, ds.num_nodes // (2 * num_gpus))
+    store = PartitionedCache(
+        nb.part_offsets, np.arange(ds.num_nodes), budget
+    )
+    features = np.zeros((ds.num_nodes, ds.feature_dim), dtype=np.float32)
+    loader = FeatureLoader(features, store)
+
+    wall_after = _time_per_call(lambda: loader.load(requests), iters)
+    wall_before = _time_per_call(
+        lambda: _reference_load(loader, requests), iters
+    )
+    rows = int(sum(len(np.unique(r)) for r in requests))
+    return {
+        "params": {
+            "dataset": dataset,
+            "num_gpus": num_gpus,
+            "requested_rows": rows,
+            "iters": iters,
+        },
+        "wall_s_before": wall_before,
+        "wall_s_after": wall_after,
+        "speedup": wall_before / wall_after,
+        "batches_per_s": 1.0 / wall_after,
+        "rows_per_s": rows / wall_after,
+    }
+
+
+# ----------------------------------------------------------------------
+# 3. full epoch — costed DSP epoch, fast vs reference sampling path
+# ----------------------------------------------------------------------
+def bench_epoch(quick: bool = False) -> dict:
+    """A costed (non-functional) DSP epoch end to end."""
+    from repro.core import RunConfig, build_system
+
+    dataset = "tiny" if quick else "products"
+    batches = 2 if quick else 4
+    cfg = RunConfig(
+        dataset=dataset,
+        num_gpus=4 if quick else 8,
+        batch_size=8 if quick else 32,
+        hidden_dim=16 if quick else 256,
+    )
+    after = build_system("DSP", cfg)
+    before = build_system("DSP", cfg)
+    before.sampler.use_fast_path = False
+
+    wall_after = _time_per_call(
+        lambda: after.run_epoch(max_batches=batches, functional=False),
+        iters=1,
+    )
+    wall_before = _time_per_call(
+        lambda: before.run_epoch(max_batches=batches, functional=False),
+        iters=1,
+    )
+    return {
+        "params": {
+            "dataset": dataset,
+            "num_gpus": cfg.num_gpus,
+            "batch_size": cfg.batch_size,
+            "measured_batches": batches,
+        },
+        "wall_s_before": wall_before,
+        "wall_s_after": wall_after,
+        "speedup": wall_before / wall_after,
+        "batches_per_s": batches / wall_after,
+    }
+
+
+# ----------------------------------------------------------------------
+# 4. serving batch — one sweep point of the online pipeline
+# ----------------------------------------------------------------------
+def bench_serve_batch(quick: bool = False) -> dict:
+    """One ``serve_once`` point: event loop + batcher + CSP + loader."""
+    from repro.core import RunConfig, build_system
+    from repro.serve import ServeConfig, WorkloadConfig, make_workload, serve_once
+
+    dataset = "tiny" if quick else "products"
+    requests = 64 if quick else 256
+    cfg = RunConfig(
+        dataset=dataset,
+        num_gpus=4,
+        batch_size=8,
+        hidden_dim=16,
+        fanout=(5, 3),
+    )
+    system = build_system("DSP", cfg)
+    workload = make_workload(
+        WorkloadConfig(num_requests=requests, seed=0),
+        np.arange(system.base_dataset.num_nodes),
+    )
+    serve_cfg = ServeConfig(functional=False)
+    qps = 2000.0
+
+    wall_after = _time_per_call(
+        lambda: serve_once(system, workload, qps, serve_cfg), iters=1
+    )
+    system.sampler.use_fast_path = False
+    wall_before = _time_per_call(
+        lambda: serve_once(system, workload, qps, serve_cfg), iters=1
+    )
+    system.sampler.use_fast_path = True
+    report = serve_once(system, workload, qps, serve_cfg)
+    return {
+        "params": {
+            "dataset": dataset,
+            "num_gpus": cfg.num_gpus,
+            "requests": requests,
+            "qps": qps,
+        },
+        "wall_s_before": wall_before,
+        "wall_s_after": wall_after,
+        "speedup": wall_before / wall_after,
+        "requests_per_wall_s": requests / wall_after,
+        "batches_per_s": (
+            report.num_batches / wall_after if report.num_batches else 0.0
+        ),
+    }
+
+
+_BENCHES = {
+    "csp_layer": bench_csp_layer,
+    "feature_load": bench_feature_load,
+    "epoch": bench_epoch,
+    "serve_batch": bench_serve_batch,
+}
+
+
+# ----------------------------------------------------------------------
+# driver
+# ----------------------------------------------------------------------
+def run_perf(quick: bool = False, benches: list[str] | None = None) -> dict:
+    """Run the selected microbenchmarks; returns the JSON payload."""
+    from repro.utils.errors import ConfigError
+
+    names = list(benches) if benches else list(BENCH_NAMES)
+    unknown = [n for n in names if n not in _BENCHES]
+    if unknown:
+        raise ConfigError(
+            f"unknown perf benchmark(s) {unknown}; available: {BENCH_NAMES}"
+        )
+    results = {name: _BENCHES[name](quick=quick) for name in names}
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "quick": quick,
+        "benchmarks": results,
+    }
+
+
+def format_perf(payload: dict) -> str:
+    """Human-readable table of a ``run_perf`` payload."""
+    lines = [
+        f"{'benchmark':<14} {'before':>12} {'after':>12} {'speedup':>9} "
+        f"{'batches/s':>11}",
+        "-" * 62,
+    ]
+    for name, r in payload["benchmarks"].items():
+        lines.append(
+            f"{name:<14} {r['wall_s_before'] * 1e3:>10.2f}ms "
+            f"{r['wall_s_after'] * 1e3:>10.2f}ms {r['speedup']:>8.2f}x "
+            f"{r['batches_per_s']:>11.1f}"
+        )
+    return "\n".join(lines)
+
+
+__all__ = [
+    "BENCH_NAMES",
+    "bench_csp_layer",
+    "bench_epoch",
+    "bench_feature_load",
+    "bench_serve_batch",
+    "format_perf",
+    "run_perf",
+]

@@ -64,30 +64,37 @@ class FeatureLoader:
             raise ConfigError("need one request array per GPU")
 
         out: list[np.ndarray] = []
-        pos_req = np.zeros((k, k), dtype=np.float64)
-        feat_resp = np.zeros((k, k), dtype=np.float64)
         local_bytes = np.zeros(k, dtype=np.float64)
         cold_items = np.zeros(k, dtype=np.float64)
         stats = {"local": 0, "remote": 0, "cold": 0}
 
+        # (origin, holder) pair codes of every remote hit, across GPUs —
+        # one bincount at the end replaces the per-holder Python loop
+        remote_codes: list[np.ndarray] = []
         for g, req in enumerate(requests_per_gpu):
             nodes = np.unique(np.asarray(req, dtype=np.int64))  # dedup (§3.2)
             out.append(self.features[nodes])
             loc = self.store.locate(nodes, g)
-            stats["local"] += loc.count(Placement.LOCAL)
-            stats["remote"] += loc.count(Placement.REMOTE)
-            stats["cold"] += loc.count(Placement.COLD)
+            n_local = loc.count(Placement.LOCAL)
+            n_remote = loc.count(Placement.REMOTE)
+            n_cold = loc.count(Placement.COLD)
+            stats["local"] += n_local
+            stats["remote"] += n_remote
+            stats["cold"] += n_cold
 
-            local_bytes[g] = loc.count(Placement.LOCAL) * self.row_bytes
-            cold_items[g] = loc.count(Placement.COLD)
-            remote = loc.placement == Placement.REMOTE
-            if remote.any():
-                holders, counts = np.unique(
-                    loc.holder[remote], return_counts=True
-                )
-                for o, c in zip(holders, counts):
-                    pos_req[g, o] += c * ID_BYTES
-                    feat_resp[o, g] += c * self.row_bytes
+            local_bytes[g] = n_local * self.row_bytes
+            cold_items[g] = n_cold
+            if n_remote:
+                holders = loc.holder[loc.placement == Placement.REMOTE]
+                remote_codes.append(g * k + holders)
+
+        remote_counts = np.bincount(
+            np.concatenate(remote_codes) if remote_codes
+            else np.empty(0, np.int64),
+            minlength=k * k,
+        ).reshape(k, k).astype(np.float64)
+        pos_req = remote_counts * ID_BYTES
+        feat_resp = remote_counts.T * self.row_bytes
 
         hot_branch = [
             AllToAll(pos_req, label="feat-pos-req"),

@@ -8,6 +8,7 @@ Commands
 ``infer``    train then run distributed full-graph inference
 ``serve``    online inference serving: QPS sweep, SLO accounting, knee
 ``trace``    run one traced epoch; write a Chrome trace, print stalls
+``perf``     wall-clock microbenchmarks -> BENCH_perf.json
 """
 
 from __future__ import annotations
@@ -250,6 +251,28 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def cmd_perf(args) -> int:
+    """``repro perf``: wall-clock microbenchmarks of the hot paths.
+
+    Times the Python implementation itself (not simulated hardware):
+    the CSP layer round against its chunked reference implementation,
+    the feature loader against the seed's per-holder loop, a costed
+    DSP epoch and one serving sweep point.  Writes ``BENCH_perf.json``
+    so perf PRs carry measured before/after deltas (see
+    ``docs/performance.md``).
+    """
+    from repro.bench.perf import format_perf, run_perf
+
+    benches = [b for b in args.benches.split(",") if b] if args.benches else None
+    payload = run_perf(quick=args.quick, benches=benches)
+    print(format_perf(payload))
+    with open(args.out, "w") as f:
+        json.dump(payload, f, indent=2)
+        f.write("\n")
+    print(f"\nwrote {args.out}")
+    return 0
+
+
 _METRIC_KEYS = (
     "epoch_time", "sample_time", "load_time", "train_time",
     "nvlink_bytes", "pcie_bytes", "network_bytes",
@@ -354,6 +377,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", metavar="PATH",
                    help="write the JSON report to PATH instead of stdout")
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "perf", help="wall-clock microbenchmarks -> BENCH_perf.json"
+    )
+    p.add_argument("--quick", action="store_true",
+                   help="small datasets / few iterations (CI smoke)")
+    p.add_argument("--benches", default="",
+                   help="comma-separated subset of: csp_layer, "
+                        "feature_load, epoch, serve_batch (default all)")
+    p.add_argument("--out", metavar="PATH", default="BENCH_perf.json",
+                   help="JSON output path (default BENCH_perf.json)")
+    p.set_defaults(func=cmd_perf)
     return parser
 
 

@@ -392,9 +392,15 @@ class DSP(TrainingSystem):
         self._has_cold_topo = bool(self._topo_cold.any())
 
     def _assign_seeds(self, seeds: np.ndarray) -> list[np.ndarray]:
-        """Co-partition seeds with graph patches (§3.1)."""
+        """Co-partition seeds with graph patches (§3.1).
+
+        One stable sort by owner instead of k boolean-mask passes; the
+        relative seed order within each GPU is unchanged.
+        """
         owners = self.sampler.owner_of(seeds)
-        return [seeds[owners == g] for g in range(self.k)]
+        order = np.argsort(owners, kind="stable")
+        bounds = np.cumsum(np.bincount(owners, minlength=self.k))[:-1]
+        return np.split(seeds[order], bounds)
 
     def _sample(self, seeds_per_gpu):
         samples, trace, _ = self.sampler.sample(seeds_per_gpu, self.csp_config)
@@ -415,12 +421,11 @@ class DSP(TrainingSystem):
                 cold = self._topo_cold[block.dst_nodes]
                 if not cold.any():
                     continue
-                owners = self.sampler.owner_of(block.dst_nodes)
-                counts = np.diff(block.offsets)
-                for o in range(self.k):
-                    m = cold & (owners == o)
-                    if m.any():
-                        items[o] += counts[m].sum() + 2 * m.sum()
+                owners = self.sampler.owner_of(block.dst_nodes[cold])
+                counts = np.diff(block.offsets)[cold]
+                items += np.bincount(
+                    owners, weights=counts + 2.0, minlength=self.k
+                )
             if items.any():
                 trace.add(
                     UVAGather(items, item_bytes=8, label=f"topo-cold-L{layer}")

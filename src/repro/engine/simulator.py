@@ -40,7 +40,16 @@ class Timeout:
 
 
 class Process:
-    """A running generator plus its call stack of nested generators."""
+    """A running generator plus its call stack of nested generators.
+
+    ``__slots__`` because serve sweeps create one per request batch and
+    the event loop touches these attributes millions of times.
+    """
+
+    __slots__ = (
+        "name", "stack", "done", "result", "waiting_on",
+        "block_start", "block_label",
+    )
 
     def __init__(self, name: str, gen: Generator):
         self.name = name
@@ -63,7 +72,10 @@ class Simulator:
 
     def __init__(self, tracer=None) -> None:
         self.now: float = 0.0
-        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        #: entries are ``(time, seq, target, value)``; ``target`` is a
+        #: Process (resume it with ``value``) or a bare callback — a
+        #: tuple dispatch instead of a per-event lambda allocation
+        self._heap: list[tuple[float, int, Any, Any]] = []
         self._seq = itertools.count()
         self._processes: list[Process] = []
         #: number of processes currently blocked on a primitive
@@ -79,13 +91,21 @@ class Simulator:
         """Run ``callback`` ``delay`` seconds from now (FIFO at equal times)."""
         if delay < 0:
             raise ReproError(f"negative delay: {delay}")
-        heapq.heappush(self._heap, (self.now + delay, next(self._seq), callback))
+        heapq.heappush(
+            self._heap, (self.now + delay, next(self._seq), callback, None)
+        )
+
+    def _schedule_step(self, delay: float, proc: Process, value: Any) -> None:
+        """Schedule resuming ``proc`` with ``value`` (no lambda per event)."""
+        heapq.heappush(
+            self._heap, (self.now + delay, next(self._seq), proc, value)
+        )
 
     def spawn(self, gen: Generator, name: str = "proc") -> Process:
         """Register a generator as a process; it starts when run() is called."""
         proc = Process(name, gen)
         self._processes.append(proc)
-        self.schedule(0.0, lambda: self._step(proc, None))
+        self._schedule_step(0.0, proc, None)
         return proc
 
     # ------------------------------------------------------------------
@@ -116,7 +136,7 @@ class Simulator:
             value = None
 
             if isinstance(request, Timeout):
-                self.schedule(request.delay, lambda p=proc: self._step(p, None))
+                self._schedule_step(request.delay, proc, None)
                 proc.waiting_on = f"timeout({request.delay:g})"
                 return
             if isinstance(request, Iterator):
@@ -138,7 +158,7 @@ class Simulator:
 
     def resume(self, proc: Process, value: Any = None) -> None:
         """Called by primitives to unblock a process at the current time."""
-        self.schedule(0.0, lambda: self._step(proc, value))
+        self._schedule_step(0.0, proc, value)
 
     # ------------------------------------------------------------------
     # running
@@ -150,14 +170,18 @@ class Simulator:
         :class:`DeadlockError` when no event is pending but some
         process is still blocked.
         """
+        step = self._step
         while self._heap:
-            t, _, callback = self._heap[0]
+            t = self._heap[0][0]
             if until is not None and t > until:
                 self.now = until
                 return self.now
-            heapq.heappop(self._heap)
+            _, _, target, value = heapq.heappop(self._heap)
             self.now = t
-            callback()
+            if type(target) is Process:
+                step(target, value)
+            else:
+                target()
 
         if self.tracer is not None:
             # close wait spans of processes that never resumed, so a

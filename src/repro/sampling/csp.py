@@ -18,6 +18,22 @@ graph patches matters (§3.1).  The returned
 matrices and kernel work counts for the cost engine, while the returned
 :class:`~repro.sampling.frontier.MiniBatchSample` objects carry the
 functional result used for feature loading and training.
+
+The shuffle/sample/reshuffle round has two implementations:
+
+- :meth:`CollectiveSampler._one_layer` — the **flat-batch fast path**:
+  all GPUs' frontiers are concatenated once, owners are computed with a
+  single range check, one global (owner, origin)-stable permutation
+  groups the tasks, both k x k byte matrices fall out of 2-D bincounts,
+  and exactly k ``sample_neighbors`` calls run on contiguous slices.
+  This mirrors the paper's "one fused kernel over a flat task list per
+  GPU" (§4.1) and is what every system uses.
+- :meth:`CollectiveSampler._reference_one_layer` — the original
+  per-(owner, origin) chunked implementation, kept as the executable
+  specification.  Both paths draw from the per-owner RNG streams in the
+  same order, so they are bit-identical (``tests/sampling/
+  test_csp_equivalence.py`` proves it; ``docs/performance.md`` states
+  the compatibility contract).
 """
 
 from __future__ import annotations
@@ -96,6 +112,14 @@ class CollectiveSampler:
         self.part_offsets = part_offsets
         self.num_gpus = len(patches)
         self.rngs = spawn_rngs(make_rng(seed), self.num_gpus)
+        #: flip to False to run the chunked reference implementation of
+        #: the shuffle/sample/reshuffle round (same RNG stream, same
+        #: results, slower — used by the equivalence tests and the
+        #: before/after perf benchmarks)
+        self.use_fast_path: bool = True
+        # scratch flag array for bounded-domain dedup (fast path): node
+        # ids are < part_offsets[-1], so "unique" is a scatter + scan
+        self._seen = np.zeros(int(part_offsets[-1]), dtype=bool)
 
     @classmethod
     def from_partitioned(
@@ -123,6 +147,21 @@ class CollectiveSampler:
         return np.searchsorted(self.part_offsets, ids, side="right") - 1
 
     # ------------------------------------------------------------------
+    def _unique_ids(self, *arrays: np.ndarray) -> np.ndarray:
+        """Sorted unique of bounded global ids via one flag scatter.
+
+        Bit-identical to ``np.unique(np.concatenate(arrays))`` for valid
+        ids (sorted int64) but O(n) with a tiny constant; the scratch
+        flags are reset by index so cost never scales with graph size.
+        """
+        seen = self._seen
+        for a in arrays:
+            seen[a] = True
+        ids = np.flatnonzero(seen).astype(np.int64, copy=False)
+        seen[ids] = False
+        return ids
+
+    # ------------------------------------------------------------------
     def sample(
         self,
         seeds_per_gpu: list[np.ndarray],
@@ -138,6 +177,9 @@ class CollectiveSampler:
         frontiers = seeds
         blocks_per_gpu: list[list[Block]] = [[] for _ in range(self.num_gpus)]
         for layer, budget in enumerate(config.fanout):
+            # each frontier is ranged-checked exactly once per layer;
+            # the quota-weight fetch and the shuffle both reuse this
+            owners = [self.owner_of(f) for f in frontiers]
             if config.scheme == "layer" and not config.replace:
                 # exact weighted sampling without replacement via
                 # distributed Efraimidis-Spirakis keys (Table 7 path)
@@ -149,8 +191,7 @@ class CollectiveSampler:
                 t = sum(len(f) for f in frontiers)
                 s = sum(b.num_edges for b in layer_blocks)
                 loc = sum(
-                    int((self.owner_of(f) == g).sum())
-                    for g, f in enumerate(frontiers)
+                    int((ow == g).sum()) for g, ow in enumerate(owners)
                 )
                 tasks_total += t
                 sampled_total += s
@@ -160,29 +201,50 @@ class CollectiveSampler:
                 frontiers = [next_frontier(b) for b in layer_blocks]
                 continue
             if config.scheme == "layer":
-                quotas = self._layerwise_quotas(frontiers, budget, config, trace)
+                quotas = self._layerwise_quotas(
+                    frontiers, budget, config, trace, owners
+                )
             else:
                 quotas = [np.full(len(f), budget, dtype=np.int64) for f in frontiers]
 
-            layer_blocks, t, s, loc = self._one_layer(
-                frontiers, quotas, config, trace, layer
+            impl = (
+                self._one_layer if self.use_fast_path
+                else self._reference_one_layer
+            )
+            layer_blocks, t, s, loc = impl(
+                frontiers, quotas, config, trace, layer, owners
             )
             tasks_total += t
             sampled_total += s
             local_tasks += loc
             for g, block in enumerate(layer_blocks):
                 blocks_per_gpu[g].append(block)
-            frontiers = [next_frontier(b) for b in layer_blocks]
+            if self.use_fast_path:
+                # bounded-domain dedup, seeding each block's all_nodes
+                # cache (bit-identical to the lazy np.unique)
+                frontiers = []
+                for block in layer_blocks:
+                    ids = self._unique_ids(block.dst_nodes, block.src_nodes)
+                    block.__dict__["all_nodes"] = ids
+                    frontiers.append(ids)
+            else:
+                frontiers = [next_frontier(b) for b in layer_blocks]
 
-        samples = [
-            MiniBatchSample(seeds=seeds[g], blocks=tuple(blocks_per_gpu[g]))
-            for g in range(self.num_gpus)
-        ]
+        samples = []
+        for g in range(self.num_gpus):
+            sample = MiniBatchSample(
+                seeds=seeds[g], blocks=tuple(blocks_per_gpu[g])
+            )
+            if self.use_fast_path:
+                sample.__dict__["all_nodes"] = self._unique_ids(
+                    *(b.all_nodes for b in sample.blocks)
+                )
+            samples.append(sample)
         stats = CSPStats(tasks_total, sampled_total, local_tasks)
         return samples, trace, stats
 
     # ------------------------------------------------------------------
-    # one shuffle / sample / reshuffle round
+    # one shuffle / sample / reshuffle round — flat-batch fast path
     # ------------------------------------------------------------------
     def _one_layer(
         self,
@@ -191,17 +253,140 @@ class CollectiveSampler:
         config: CSPConfig,
         trace: OpTrace,
         layer: int,
+        owners: list[np.ndarray] | None = None,
     ) -> tuple[list[Block], int, int, int]:
+        """Flat-batch shuffle / sample / reshuffle (paper §4.1).
+
+        All k frontiers are treated as ONE flat task list: a single
+        stable permutation groups tasks by (owner, origin, original
+        position) — the exact concatenation order the chunked reference
+        builds per owner — so each owner GPU's fused kernel sees the
+        same tasks in the same order and consumes its RNG stream
+        identically.  Byte matrices come from 2-D bincounts and results
+        scatter back with one vectorized inverse-permutation gather.
+        """
+        k = self.num_gpus
+        per_task_bytes = ID_BYTES * (2 if config.scheme == "layer" else 1)
+
+        sizes = np.array([len(f) for f in frontiers], dtype=np.int64)
+        origin_bounds = np.concatenate([[0], np.cumsum(sizes)])
+        n = int(origin_bounds[-1])
+        flat_tasks = (
+            np.concatenate(frontiers) if n else np.empty(0, np.int64)
+        )
+        flat_quota = (
+            np.concatenate(quotas) if n else np.empty(0, np.int64)
+        )
+        flat_owner = (
+            np.concatenate(owners) if owners is not None
+            else self.owner_of(flat_tasks)
+        )
+        origin = np.repeat(np.arange(k, dtype=np.int64), sizes)
+
+        # ---- shuffle: one 2-D bincount gives the full k x k matrix ------
+        owner_counts = np.bincount(
+            origin * k + flat_owner, minlength=k * k
+        ).reshape(k, k)
+        shuffle = owner_counts.astype(np.float64) * per_task_bytes
+        trace.add(AllToAll(np.where(np.eye(k, dtype=bool), 0.0, shuffle),
+                           label=f"shuffle-L{layer}"))
+
+        # ---- sample: exactly k fused-kernel calls on contiguous slices --
+        # the frontiers are concatenated in origin order, so a stable
+        # sort by owner alone IS the (owner, origin)-stable grouping
+        order = np.argsort(flat_owner, kind="stable")
+        tasks_sorted = flat_tasks[order]
+        quota_sorted = flat_quota[order]
+        owner_bounds = np.concatenate(
+            [[0], np.cumsum(owner_counts.sum(axis=0))]
+        )
+        counts_sorted = np.empty(n, dtype=np.int64)
+        src_parts: list[np.ndarray] = []
+        kernel_work = np.zeros(k, dtype=np.float64)
+        for o, patch in enumerate(self.patches):
+            lo, hi = owner_bounds[o], owner_bounds[o + 1]
+            src_o, cnt_o = sample_neighbors(
+                patch,
+                tasks_sorted[lo:hi] - patch.base,
+                quota_sorted[lo:hi],
+                rng=self.rngs[o],
+                replace=config.replace,
+                biased=config.biased,
+            )
+            counts_sorted[lo:hi] = cnt_o
+            src_parts.append(src_o)
+            kernel_work[o] = float(cnt_o.sum())
+        src_sorted = (
+            np.concatenate(src_parts) if src_parts else np.empty(0, np.int64)
+        )
+        trace.add(LocalKernel("sample", kernel_work, label=f"sample-L{layer}"))
+
+        # ---- reshuffle matrix: one weighted 2-D bincount ----------------
+        # bytes from owner o back to origin g: sampled ids + counts
+        sampled_og = np.bincount(
+            flat_owner[order] * k + origin[order],
+            weights=counts_sorted.astype(np.float64),
+            minlength=k * k,
+        ).reshape(k, k)
+        reshuffle = ID_BYTES * (sampled_og + owner_counts.T)
+        trace.add(AllToAll(np.where(np.eye(k, dtype=bool), 0.0, reshuffle),
+                           label=f"reshuffle-L{layer}"))
+
+        # ---- scatter results back to original task order ----------------
+        inv = np.empty_like(order)
+        inv[order] = np.arange(n, dtype=np.int64)
+        counts_flat = counts_sorted[inv]
+        starts_sorted = np.concatenate([[0], np.cumsum(counts_sorted)])[:-1]
+        gather = np.repeat(starts_sorted[inv], counts_flat) + _ranges(counts_flat)
+        src_flat = src_sorted[gather]
+
+        # ---- reassemble blocks on the origin GPUs (contiguous slices) ---
+        src_bounds = np.concatenate([[0], np.cumsum(counts_flat)])
+        blocks = []
+        for g in range(k):
+            lo, hi = origin_bounds[g], origin_bounds[g + 1]
+            e_lo = src_bounds[lo]
+            blocks.append(Block(
+                frontiers[g],
+                src_flat[src_bounds[lo]:src_bounds[hi]],
+                src_bounds[lo:hi + 1] - e_lo,
+            ))
+        tasks_total = n
+        sampled_total = int(len(src_flat))
+        local_tasks = int(np.trace(owner_counts))
+        return blocks, tasks_total, sampled_total, local_tasks
+
+    # ------------------------------------------------------------------
+    # chunked reference implementation (executable specification)
+    # ------------------------------------------------------------------
+    def _reference_one_layer(
+        self,
+        frontiers: list[np.ndarray],
+        quotas: list[np.ndarray],
+        config: CSPConfig,
+        trace: OpTrace,
+        layer: int,
+        owners: list[np.ndarray] | None = None,
+    ) -> tuple[list[Block], int, int, int]:
+        """The original per-(owner, origin) chunked round.
+
+        Kept verbatim as the executable specification of the fast path:
+        ``tests/sampling/test_csp_equivalence.py`` asserts both paths
+        return byte-identical blocks, traces and stats from identical
+        RNG streams.  ``owners`` is accepted (and ignored) so the two
+        implementations are signature-compatible.
+        """
+        del owners  # the reference recomputes them, as the seed did
         k = self.num_gpus
         per_task_bytes = ID_BYTES * (2 if config.scheme == "layer" else 1)
 
         # ---- shuffle: group each GPU's tasks by owner -------------------
         perms, owner_counts = [], np.zeros((k, k), dtype=np.int64)
         for g, frontier in enumerate(frontiers):
-            owners = self.owner_of(frontier)
-            perm = np.argsort(owners, kind="stable")
+            owners_g = self.owner_of(frontier)
+            perm = np.argsort(owners_g, kind="stable")
             perms.append(perm)
-            owner_counts[g] = np.bincount(owners, minlength=k)
+            owner_counts[g] = np.bincount(owners_g, minlength=k)
         shuffle = owner_counts.astype(np.float64) * per_task_bytes
         trace.add(AllToAll(np.where(np.eye(k, dtype=bool), 0.0, shuffle),
                            label=f"shuffle-L{layer}"))
@@ -282,6 +467,7 @@ class CollectiveSampler:
         budget: int,
         config: CSPConfig,
         trace: OpTrace,
+        owners: list[np.ndarray] | None = None,
     ) -> list[np.ndarray]:
         """Split a layer budget over frontier nodes, Eq. (2).
 
@@ -297,7 +483,7 @@ class CollectiveSampler:
         records.
         """
         k = self.num_gpus
-        weights = self._fetch_frontier_weights(frontiers, config, trace)
+        weights = self._fetch_frontier_weights(frontiers, config, trace, owners)
         quotas = []
         for g, frontier in enumerate(frontiers):
             w = weights[g]
@@ -315,18 +501,25 @@ class CollectiveSampler:
         frontiers: list[np.ndarray],
         config: CSPConfig,
         trace: OpTrace,
+        owners: list[np.ndarray] | None = None,
     ) -> list[np.ndarray]:
-        """W_u for every frontier node, fetched from the owning GPUs."""
+        """W_u for every frontier node, fetched from the owning GPUs.
+
+        ``owners`` may carry precomputed ``owner_of`` results (one array
+        per frontier) so each frontier is ranged-checked once per layer.
+        """
         k = self.num_gpus
         request = np.zeros((k, k), dtype=np.float64)
         weights = []
         for g, frontier in enumerate(frontiers):
-            owners = self.owner_of(frontier)
-            request[g] = np.bincount(owners, minlength=k) * ID_BYTES
+            owners_g = (
+                owners[g] if owners is not None else self.owner_of(frontier)
+            )
+            request[g] = np.bincount(owners_g, minlength=k) * ID_BYTES
             w = np.empty(len(frontier), dtype=np.float64)
-            for o in np.unique(owners):
+            for o in np.unique(owners_g):
                 patch = self.patches[o]
-                mask = owners == o
+                mask = owners_g == o
                 local = frontier[mask] - patch.base
                 if config.biased:
                     cum = patch.cum_weights

@@ -182,7 +182,8 @@ def _without_replacement(patch, starts, deg, f, rng, biased):
 
     T = len(starts)
     seg = np.repeat(np.arange(T, dtype=np.int64), deg)
-    pos = np.repeat(starts, deg) + _ranges(deg)
+    within = _ranges(deg)  # position inside each task's segment
+    pos = np.repeat(starts, deg) + within
     if biased:
         w = patch.weights[pos].astype(np.float64)
         keys = np.full(n_cand, np.inf)
@@ -192,7 +193,7 @@ def _without_replacement(patch, starts, deg, f, rng, biased):
         keys = rng.random(n_cand)
 
     order = np.lexsort((keys, seg))  # by task, then ascending key
-    rank = _ranges(deg)  # rank within each sorted segment
+    rank = within  # rank within each sorted segment (same layout as pos)
     selected = order[rank < np.repeat(f, deg)]
     selected.sort()  # restore per-task grouping (stable within task)
     return patch.indices[pos[selected]], counts

@@ -113,6 +113,27 @@ class TestCLI:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["serve", "--arrival", "uniform"])
 
+    def test_perf_single_bench_out(self, capsys, tmp_path):
+        path = tmp_path / "BENCH_perf.json"
+        assert main(["perf", "--quick", "--benches", "feature_load",
+                     "--out", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert f"wrote {path}" in out and "speedup" in out
+        payload = json.loads(path.read_text())
+        assert payload["quick"] is True
+        r = payload["benchmarks"]["feature_load"]
+        assert r["wall_s_after"] > 0 and r["wall_s_before"] > 0
+        assert r["speedup"] == pytest.approx(
+            r["wall_s_before"] / r["wall_s_after"]
+        )
+
+    def test_perf_rejects_unknown_bench(self, tmp_path):
+        from repro.utils import ConfigError
+
+        with pytest.raises(ConfigError):
+            main(["perf", "--quick", "--benches", "magic",
+                  "--out", str(tmp_path / "x.json")])
+
     def test_parser_rejects_unknown_system(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["train", "--system", "magic"])
