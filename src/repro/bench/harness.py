@@ -41,6 +41,44 @@ def measured_epoch(
     return _measured_epoch_cached(system, cfg, max_batches)
 
 
+def compare_epochs(
+    systems,
+    cfg: RunConfig,
+    max_batches: int | None = None,
+    workers: int = 1,
+    functional: bool = False,
+) -> dict[str, EpochMetrics]:
+    """One measured epoch per system (``repro compare``), optionally
+    fanned out one-task-per-system across CPU cores.
+
+    Each task builds its system fresh from ``cfg`` inside the worker
+    (an epoch mutates sampler/shuffle state, so systems are never
+    shared), which is also exactly what the serial path does — results
+    are bit-identical for any worker count.
+    """
+    from repro.parallel import RunSpec, run_tasks
+
+    if max_batches is None:
+        max_batches = bench_batches()
+    names = list(systems)
+    specs = [
+        RunSpec(
+            kind="epoch",
+            label=name,
+            seed=cfg.seed,
+            payload={
+                "system": name,
+                "config": cfg,
+                "max_batches": max_batches,
+                "functional": functional,
+            },
+        )
+        for name in names
+    ]
+    metrics = run_tasks(specs, workers=workers)
+    return dict(zip(names, metrics))
+
+
 def fmt_table(
     title: str,
     col_names: list[str],

@@ -19,14 +19,31 @@ Four microbenchmarks:
 - ``serve_batch`` — one ``serve_once`` sweep point of the online
   serving pipeline, fast vs reference sampling path.
 
+plus ``sweep`` — a QPS-sweep ladder driven by the multi-core run
+executor (:mod:`repro.parallel`) against the pre-PR serial driver.
+
 ``run_perf`` executes them and returns the ``BENCH_perf.json`` payload:
 per-benchmark wall-clock, batches/s, sampled-edges/s where meaningful,
 and before/after deltas.  ``--quick`` shrinks datasets and iteration
 counts for CI smoke runs (the numbers move; the schema does not).
+With ``workers > 1`` the selected benchmarks fan out one-per-core;
+each benchmark still times its own code single-threaded, so the
+numbers are comparable with a serial run (modulo shared-core noise).
+
+``clock`` selects the timer: ``"wall"`` (``time.perf_counter``) or
+``"fake"`` — a deterministic virtual clock that makes the whole
+payload, timings included, a pure function of the inputs.  The fake
+clock exists for the parallel-vs-serial equivalence suite: with it,
+``run_perf(workers=1)`` and ``run_perf(workers=4)`` must produce
+bit-identical JSON.
+
+``diff_against_baseline`` compares a fresh payload against a committed
+one and flags speedup regressions — the CI perf-smoke gate.
 """
 
 from __future__ import annotations
 
+import itertools
 import time
 
 import numpy as np
@@ -43,22 +60,39 @@ from repro.sampling.ops import (
 )
 
 #: bump when the payload schema changes
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
-BENCH_NAMES = ("csp_layer", "feature_load", "epoch", "serve_batch")
+BENCH_NAMES = ("csp_layer", "feature_load", "epoch", "serve_batch", "sweep")
 
 
 # ----------------------------------------------------------------------
 # plumbing
 # ----------------------------------------------------------------------
-def _time_per_call(fn, iters: int, warmup: int = 1) -> float:
-    """Mean wall-clock seconds per ``fn()`` call over ``iters`` calls."""
+def _make_clock(clock):
+    """Resolve a clock spec: ``"wall"`` -> ``time.perf_counter``;
+    ``"fake"`` -> a deterministic counter advancing 1ms per reading
+    (for the bit-equivalence tests); callables pass through."""
+    if callable(clock):
+        return clock
+    if clock == "wall":
+        return time.perf_counter
+    if clock == "fake":
+        ticks = itertools.count()
+        return lambda: next(ticks) * 1e-3
+    from repro.utils.errors import ConfigError
+
+    raise ConfigError(f"unknown perf clock {clock!r} (wall|fake)")
+
+
+def _time_per_call(fn, iters: int, warmup: int = 1,
+                   clock=time.perf_counter) -> float:
+    """Mean seconds per ``fn()`` call over ``iters`` calls."""
     for _ in range(warmup):
         fn()
-    t0 = time.perf_counter()
+    t0 = clock()
     for _ in range(iters):
         fn()
-    return (time.perf_counter() - t0) / iters
+    return (clock() - t0) / iters
 
 
 def _build_sampler(dataset: str, num_gpus: int, seed: int = 0):
@@ -91,8 +125,9 @@ def _seed_batch(sampler, per_gpu: int, seed: int = 3):
 # ----------------------------------------------------------------------
 # 1. CSP layer round — the tentpole measurement
 # ----------------------------------------------------------------------
-def bench_csp_layer(quick: bool = False) -> dict:
+def bench_csp_layer(quick: bool = False, clock="wall") -> dict:
     """Fast-path vs reference CSP rounds: 8 GPUs, 3 node-wise layers."""
+    tick = _make_clock(clock)
     dataset = "tiny" if quick else "products"
     per_gpu = 32 if quick else 256
     iters = 2 if quick else 5
@@ -111,9 +146,9 @@ def bench_csp_layer(quick: bool = False) -> dict:
         _, _, stats = fast.sample(seeds, config)
         sampled_edges = stats.sampled_total
 
-    wall_after = _time_per_call(run_fast, iters)
+    wall_after = _time_per_call(run_fast, iters, clock=tick)
     wall_before = _time_per_call(
-        lambda: ref.sample(seeds, config), iters
+        lambda: ref.sample(seeds, config), iters, clock=tick
     )
     return {
         "params": {
@@ -188,8 +223,16 @@ def _reference_load(
     return out, trace, stats
 
 
-def bench_feature_load(quick: bool = False) -> dict:
-    """Vectorized loader vs the seed loop over one batch's requests."""
+def bench_feature_load(quick: bool = False, clock="wall") -> dict:
+    """Plan-cached vectorized loader vs the seed loop, same requests.
+
+    The *after* path is the shipped loader: vectorized byte-matrix
+    assembly plus the :class:`~repro.cache.plan.PlanCache`, whose warm
+    hits are exactly what repeated serving batches see.  The warmup
+    call populates the cache, so the measured iterations run the hit
+    path — the cold (miss) cost is the *before* measurement's shape.
+    """
+    tick = _make_clock(clock)
     dataset = "tiny" if quick else "products"
     per_gpu = 32 if quick else 256
     iters = 3 if quick else 10
@@ -211,11 +254,13 @@ def bench_feature_load(quick: bool = False) -> dict:
     features = np.zeros((ds.num_nodes, ds.feature_dim), dtype=np.float32)
     loader = FeatureLoader(features, store)
 
-    wall_after = _time_per_call(lambda: loader.load(requests), iters)
+    wall_after = _time_per_call(lambda: loader.load(requests), iters,
+                                clock=tick)
     wall_before = _time_per_call(
-        lambda: _reference_load(loader, requests), iters
+        lambda: _reference_load(loader, requests), iters, clock=tick
     )
     rows = int(sum(len(np.unique(r)) for r in requests))
+    plan_stats = loader.plan_cache.stats()
     return {
         "params": {
             "dataset": dataset,
@@ -228,16 +273,18 @@ def bench_feature_load(quick: bool = False) -> dict:
         "speedup": wall_before / wall_after,
         "batches_per_s": 1.0 / wall_after,
         "rows_per_s": rows / wall_after,
+        "plan_cache": plan_stats,
     }
 
 
 # ----------------------------------------------------------------------
 # 3. full epoch — costed DSP epoch, fast vs reference sampling path
 # ----------------------------------------------------------------------
-def bench_epoch(quick: bool = False) -> dict:
+def bench_epoch(quick: bool = False, clock="wall") -> dict:
     """A costed (non-functional) DSP epoch end to end."""
     from repro.core import RunConfig, build_system
 
+    tick = _make_clock(clock)
     dataset = "tiny" if quick else "products"
     batches = 2 if quick else 4
     cfg = RunConfig(
@@ -252,11 +299,11 @@ def bench_epoch(quick: bool = False) -> dict:
 
     wall_after = _time_per_call(
         lambda: after.run_epoch(max_batches=batches, functional=False),
-        iters=1,
+        iters=1, clock=tick,
     )
     wall_before = _time_per_call(
         lambda: before.run_epoch(max_batches=batches, functional=False),
-        iters=1,
+        iters=1, clock=tick,
     )
     return {
         "params": {
@@ -275,11 +322,19 @@ def bench_epoch(quick: bool = False) -> dict:
 # ----------------------------------------------------------------------
 # 4. serving batch — one sweep point of the online pipeline
 # ----------------------------------------------------------------------
-def bench_serve_batch(quick: bool = False) -> dict:
-    """One ``serve_once`` point: event loop + batcher + CSP + loader."""
+def bench_serve_batch(quick: bool = False, clock="wall") -> dict:
+    """One ``serve_once`` point: event loop + batcher + CSP + loader.
+
+    *Before* is the seed implementation of the serving hot path — the
+    chunked reference sampler and a plan-cache-free loader; *after* is
+    the shipped path (flat-batch CSP + plan-cached feature loading).
+    The warmup run populates the plan cache, so the measured run sees
+    the hit rate a steady-state serving process sees.
+    """
     from repro.core import RunConfig, build_system
     from repro.serve import ServeConfig, WorkloadConfig, make_workload, serve_once
 
+    tick = _make_clock(clock)
     dataset = "tiny" if quick else "products"
     requests = 64 if quick else 256
     cfg = RunConfig(
@@ -298,11 +353,16 @@ def bench_serve_batch(quick: bool = False) -> dict:
     qps = 2000.0
 
     wall_after = _time_per_call(
-        lambda: serve_once(system, workload, qps, serve_cfg), iters=1
+        lambda: serve_once(system, workload, qps, serve_cfg), iters=1,
+        clock=tick,
     )
+    plan_stats = (system.loader.plan_cache.stats()
+                  if system.loader.plan_cache is not None else None)
     system.sampler.use_fast_path = False
+    system.loader.plan_cache = None
     wall_before = _time_per_call(
-        lambda: serve_once(system, workload, qps, serve_cfg), iters=1
+        lambda: serve_once(system, workload, qps, serve_cfg), iters=1,
+        clock=tick,
     )
     system.sampler.use_fast_path = True
     report = serve_once(system, workload, qps, serve_cfg)
@@ -320,6 +380,81 @@ def bench_serve_batch(quick: bool = False) -> dict:
         "batches_per_s": (
             report.num_batches / wall_after if report.num_batches else 0.0
         ),
+        "plan_cache": plan_stats,
+    }
+
+
+# ----------------------------------------------------------------------
+# 5. sweep — the multi-core run executor vs the pre-PR serial driver
+# ----------------------------------------------------------------------
+def bench_sweep(quick: bool = False, clock="wall") -> dict:
+    """A QPS ladder through ``qps_sweep``: parallel executor + plan
+    cache vs the seed's serial point-after-point driver.
+
+    *Before* replays the pre-PR driver: one system, plan cache off,
+    one ``serve_once`` per point in sequence.  *After* is the shipped
+    ``qps_sweep(workers=N)`` where N is capped by this machine's CPU
+    count — on a multi-core host the points overlap across cores; the
+    recorded ``params.workers``/``params.cpu_count`` say what actually
+    ran.
+    """
+    from repro.core import RunConfig, build_system
+    from repro.parallel import default_workers
+    from repro.serve import (
+        ServeConfig,
+        WorkloadConfig,
+        make_workload,
+        qps_sweep,
+        serve_once,
+    )
+
+    tick = _make_clock(clock)
+    dataset = "tiny" if quick else "products"
+    requests = 64 if quick else 256
+    ladder = (500.0, 2000.0) if quick else (1e3, 4e3, 16e3, 64e3)
+    workers = default_workers(cap=2 if quick else 4)
+    cfg = RunConfig(
+        dataset=dataset,
+        num_gpus=4,
+        batch_size=8,
+        hidden_dim=16,
+        fanout=(5, 3),
+    )
+    serve_cfg = ServeConfig(functional=False)
+    before_sys = build_system("DSP", cfg)
+    before_sys.loader.plan_cache = None
+    workload = make_workload(
+        WorkloadConfig(num_requests=requests, seed=0),
+        np.arange(before_sys.base_dataset.num_nodes),
+    )
+
+    def run_before():
+        for q in ladder:
+            serve_once(before_sys, workload, q, serve_cfg)
+
+    after_sys = build_system("DSP", cfg)
+
+    def run_after():
+        qps_sweep(after_sys, workload, ladder, serve_cfg, workers=workers)
+
+    wall_before = _time_per_call(run_before, iters=1, clock=tick)
+    wall_after = _time_per_call(run_after, iters=1, clock=tick)
+    import os
+
+    return {
+        "params": {
+            "dataset": dataset,
+            "num_gpus": cfg.num_gpus,
+            "requests": requests,
+            "qps_points": list(ladder),
+            "workers": workers,
+            "cpu_count": os.cpu_count(),
+        },
+        "wall_s_before": wall_before,
+        "wall_s_after": wall_after,
+        "speedup": wall_before / wall_after,
+        "batches_per_s": len(ladder) / wall_after,
+        "points_per_s": len(ladder) / wall_after,
     }
 
 
@@ -328,14 +463,40 @@ _BENCHES = {
     "feature_load": bench_feature_load,
     "epoch": bench_epoch,
     "serve_batch": bench_serve_batch,
+    "sweep": bench_sweep,
 }
 
 
 # ----------------------------------------------------------------------
 # driver
 # ----------------------------------------------------------------------
-def run_perf(quick: bool = False, benches: list[str] | None = None) -> dict:
-    """Run the selected microbenchmarks; returns the JSON payload."""
+def run_single_bench(name: str, quick: bool = False, clock="wall") -> dict:
+    """Run one named microbenchmark; returns its payload entry."""
+    from repro.utils.errors import ConfigError
+
+    try:
+        bench = _BENCHES[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown perf benchmark {name!r}; available: {BENCH_NAMES}"
+        ) from None
+    return bench(quick=quick, clock=clock)
+
+
+def run_perf(
+    quick: bool = False,
+    benches: list[str] | None = None,
+    workers: int = 1,
+    clock="wall",
+) -> dict:
+    """Run the selected microbenchmarks; returns the JSON payload.
+
+    ``workers > 1`` fans the selected benchmarks out one-per-core via
+    :mod:`repro.parallel` (results merge back in benchmark order).
+    """
+    import os
+
+    from repro.parallel import RunSpec, run_tasks
     from repro.utils.errors import ConfigError
 
     names = list(benches) if benches else list(BENCH_NAMES)
@@ -344,12 +505,72 @@ def run_perf(quick: bool = False, benches: list[str] | None = None) -> dict:
         raise ConfigError(
             f"unknown perf benchmark(s) {unknown}; available: {BENCH_NAMES}"
         )
-    results = {name: _BENCHES[name](quick=quick) for name in names}
+    specs = [
+        RunSpec(
+            kind="perf_bench",
+            label=name,
+            payload={"bench": name, "quick": quick, "clock": clock},
+        )
+        for name in names
+    ]
+    results = run_tasks(specs, workers=workers)
+    # NB: the driving worker count is deliberately NOT recorded — the
+    # payload must be bit-identical for --workers 1 and --workers 4
+    # (each benchmark times its own code regardless of which process
+    # runs it); cpu_count is a property of the machine, not the run.
     return {
         "schema_version": SCHEMA_VERSION,
         "quick": quick,
-        "benchmarks": results,
+        "cpu_count": os.cpu_count(),
+        "benchmarks": dict(zip(names, results)),
     }
+
+
+# ----------------------------------------------------------------------
+# baseline regression gate
+# ----------------------------------------------------------------------
+def diff_against_baseline(
+    fresh: dict, baseline: dict, tolerance: float = 0.2
+) -> tuple[str, list[str]]:
+    """Compare a fresh payload against a committed baseline.
+
+    The gated metric is each benchmark's *speedup* (before/after of the
+    same code on the same machine in the same process), which transfers
+    across machines far better than absolute wall-clock.  A benchmark
+    regresses when its fresh speedup falls more than ``tolerance``
+    (default 20%) below the baseline's.  Returns the report text and
+    the list of regressed benchmark names (empty = gate passes);
+    benchmarks present on only one side are reported but never gate.
+    """
+    fresh_b = fresh.get("benchmarks", {})
+    base_b = baseline.get("benchmarks", {})
+    lines = [
+        f"{'benchmark':<14} {'baseline':>9} {'fresh':>9} {'delta':>8}  verdict",
+        "-" * 56,
+    ]
+    if fresh.get("quick") != baseline.get("quick"):
+        lines.insert(0, "note: quick flags differ between fresh run and "
+                        "baseline; speedups still compared")
+    regressions: list[str] = []
+    for name in sorted(set(fresh_b) | set(base_b)):
+        if name not in fresh_b or name not in base_b:
+            side = "baseline" if name not in fresh_b else "fresh run"
+            lines.append(f"{name:<14} {'-':>9} {'-':>9} {'-':>8}  "
+                         f"only in {side}; skipped")
+            continue
+        base_s = base_b[name].get("speedup", float("nan"))
+        fresh_s = fresh_b[name].get("speedup", float("nan"))
+        delta = (fresh_s - base_s) / base_s if base_s else float("nan")
+        regressed = fresh_s < base_s * (1.0 - tolerance)
+        verdict = f"REGRESSED (> {tolerance:.0%} below baseline)" \
+            if regressed else "ok"
+        if regressed:
+            regressions.append(name)
+        lines.append(
+            f"{name:<14} {base_s:>8.2f}x {fresh_s:>8.2f}x {delta:>+7.1%}  "
+            f"{verdict}"
+        )
+    return "\n".join(lines), regressions
 
 
 def format_perf(payload: dict) -> str:
@@ -374,6 +595,9 @@ __all__ = [
     "bench_epoch",
     "bench_feature_load",
     "bench_serve_batch",
+    "bench_sweep",
+    "diff_against_baseline",
     "format_perf",
     "run_perf",
+    "run_single_bench",
 ]

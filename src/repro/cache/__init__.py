@@ -37,8 +37,11 @@ from repro.cache.store import (
     ReplicatedCache,
 )
 from repro.cache.loader import FeatureLoader, HostGatherLoader
+from repro.cache.plan import FeaturePlan, PlanCache
 
 __all__ = [
+    "FeaturePlan",
+    "PlanCache",
     "HOT_POLICIES",
     "rank_by_degree",
     "rank_by_pagerank",

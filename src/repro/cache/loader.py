@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.cache.plan import FeaturePlan, PlanCache
 from repro.cache.store import CacheStore, Placement
 from repro.sampling.ops import (
     AllToAll,
@@ -38,15 +39,55 @@ ID_BYTES = 8
 
 
 class FeatureLoader:
-    """GPU-side loader over a cache store."""
+    """GPU-side loader over a cache store.
 
-    def __init__(self, features: np.ndarray, store: CacheStore):
+    ``plan_cache`` (on by default) memoizes the placement plan — dedup,
+    local/remote/cold split and the per-holder byte-matrix rows — per
+    ``(gpu, request-bytes)`` frontier block, so serving batches that
+    repeat a block skip the ``unique``/``locate``/``bincount``
+    replanning entirely (see :mod:`repro.cache.plan`).  Outputs are
+    bit-identical with the cache on or off.  Pass ``plan_cache=None``
+    to disable, or a pre-built :class:`PlanCache` to share/bound one.
+    """
+
+    def __init__(self, features: np.ndarray, store: CacheStore,
+                 plan_cache: PlanCache | bool | None = True):
         if features.ndim != 2:
             raise ConfigError("features must be [num_nodes, dim]")
         self.features = features
         self.store = store
         self.feature_dim = features.shape[1]
         self.row_bytes = self.feature_dim * features.dtype.itemsize
+        if plan_cache is True:
+            plan_cache = PlanCache()
+        elif plan_cache is False:
+            plan_cache = None
+        self.plan_cache: PlanCache | None = plan_cache
+
+    def _plan(self, g: int, req: np.ndarray, k: int) -> FeaturePlan:
+        """The placement plan for one request block, cached when the
+        same block bytes were planned before."""
+        cache = self.plan_cache
+        key = None
+        if cache is not None:
+            key = PlanCache.key(g, req)
+            plan = cache.lookup(key)
+            if plan is not None:
+                return plan
+        nodes = np.unique(req)  # dedup (§3.2)
+        loc = self.store.locate(nodes, g)
+        n_local = loc.count(Placement.LOCAL)
+        n_remote = loc.count(Placement.REMOTE)
+        n_cold = loc.count(Placement.COLD)
+        if n_remote:
+            holders = loc.holder[loc.placement == Placement.REMOTE]
+            remote_row = np.bincount(holders, minlength=k)
+        else:
+            remote_row = np.zeros(k, dtype=np.int64)
+        plan = FeaturePlan(nodes, n_local, n_remote, n_cold, remote_row)
+        if cache is not None:
+            cache.store(key, plan)
+        return plan
 
     def load(
         self, requests_per_gpu: list[np.ndarray]
@@ -66,33 +107,21 @@ class FeatureLoader:
         out: list[np.ndarray] = []
         local_bytes = np.zeros(k, dtype=np.float64)
         cold_items = np.zeros(k, dtype=np.float64)
+        remote_rows = np.zeros((k, k), dtype=np.int64)
         stats = {"local": 0, "remote": 0, "cold": 0}
 
-        # (origin, holder) pair codes of every remote hit, across GPUs —
-        # one bincount at the end replaces the per-holder Python loop
-        remote_codes: list[np.ndarray] = []
         for g, req in enumerate(requests_per_gpu):
-            nodes = np.unique(np.asarray(req, dtype=np.int64))  # dedup (§3.2)
-            out.append(self.features[nodes])
-            loc = self.store.locate(nodes, g)
-            n_local = loc.count(Placement.LOCAL)
-            n_remote = loc.count(Placement.REMOTE)
-            n_cold = loc.count(Placement.COLD)
-            stats["local"] += n_local
-            stats["remote"] += n_remote
-            stats["cold"] += n_cold
+            req = np.ascontiguousarray(np.asarray(req, dtype=np.int64))
+            plan = self._plan(g, req, k)
+            out.append(self.features[plan.nodes])
+            stats["local"] += plan.n_local
+            stats["remote"] += plan.n_remote
+            stats["cold"] += plan.n_cold
+            local_bytes[g] = plan.n_local * self.row_bytes
+            cold_items[g] = plan.n_cold
+            remote_rows[g] = plan.remote_row
 
-            local_bytes[g] = n_local * self.row_bytes
-            cold_items[g] = n_cold
-            if n_remote:
-                holders = loc.holder[loc.placement == Placement.REMOTE]
-                remote_codes.append(g * k + holders)
-
-        remote_counts = np.bincount(
-            np.concatenate(remote_codes) if remote_codes
-            else np.empty(0, np.int64),
-            minlength=k * k,
-        ).reshape(k, k).astype(np.float64)
+        remote_counts = remote_rows.astype(np.float64)
         pos_req = remote_counts * ID_BYTES
         feat_resp = remote_counts.T * self.row_bytes
 

@@ -1,0 +1,130 @@
+"""Feature-path plan caching: memoized placement plans per frontier block.
+
+For a fixed cache store, everything :meth:`FeatureLoader.load` computes
+besides the feature gather itself is a pure function of the pair
+``(requesting gpu, request array)``: the deduplicated node list, the
+local/remote/cold split and the per-holder remote-hit counts that seed
+the all-to-all byte matrices.  Serving workloads repeat those inputs
+constantly — Zipf-popular seeds produce the same frontier blocks batch
+after batch, and every point of a QPS sweep replays the same workload
+against a re-seeded sampler — so the plan can be cached and the
+``unique``/``locate``/``bincount`` replanning skipped (the static-cache
+planner idea of PaGraph/GNNLab, amortized across batches).
+
+Keys are the *interned identity* of the frontier block: the raw little-
+endian bytes of the int64 request array plus the requesting GPU.  Two
+byte-identical requests share a plan; anything else misses.  The cache
+is LRU-bounded both by entry count and by payload bytes so training
+epochs (which rarely repeat a block) cannot grow it without bound.
+
+The cached plan is exactly the data the un-cached path computes, so
+loader outputs are bit-identical with the cache on or off — that
+equivalence is part of the test suite (``tests/cache/test_plan_cache``).
+The store's placement must be static (true of every
+:class:`~repro.cache.store.CacheStore` here); call :meth:`PlanCache.clear`
+if a store is ever mutated.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.errors import ConfigError
+
+__all__ = ["FeaturePlan", "PlanCache"]
+
+
+@dataclass(frozen=True)
+class FeaturePlan:
+    """Placement plan for one (gpu, frontier block) pair.
+
+    Everything ``FeatureLoader.load`` needs except the feature rows:
+    the deduplicated node ids, the hot/cold split counts and the
+    remote-hit count per holder GPU (one row of the k x k byte-matrix
+    skeleton).
+    """
+
+    nodes: np.ndarray  # deduplicated, sorted request ids
+    n_local: int
+    n_remote: int
+    n_cold: int
+    remote_row: np.ndarray  # remote hits per holder GPU [k], int64
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.nodes.nbytes + self.remote_row.nbytes)
+
+
+class PlanCache:
+    """LRU cache of :class:`FeaturePlan` keyed on frontier-block bytes."""
+
+    def __init__(self, max_entries: int = 4096,
+                 max_bytes: int = 64 * 1024 * 1024):
+        if max_entries <= 0:
+            raise ConfigError("max_entries must be positive")
+        if max_bytes <= 0:
+            raise ConfigError("max_bytes must be positive")
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
+        self._plans: OrderedDict[tuple[int, bytes], FeaturePlan] = OrderedDict()
+        self._costs: dict[tuple[int, bytes], int] = {}
+        self._nbytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    @staticmethod
+    def key(gpu: int, request: np.ndarray) -> tuple[int, bytes]:
+        """Interned identity of one frontier block: GPU + raw bytes."""
+        return (gpu, request.tobytes())
+
+    def lookup(self, key: tuple[int, bytes]) -> FeaturePlan | None:
+        """The cached plan for ``key`` (touches LRU order), else None."""
+        plan = self._plans.get(key)
+        if plan is None:
+            self.misses += 1
+            return None
+        self._plans.move_to_end(key)
+        self.hits += 1
+        return plan
+
+    def store(self, key: tuple[int, bytes], plan: FeaturePlan) -> None:
+        """Insert a freshly computed plan, evicting LRU entries to fit."""
+        cost = plan.nbytes + len(key[1])
+        if cost > self.max_bytes:
+            return  # a single oversized block would evict everything
+        if key in self._plans:  # duplicate insert: refresh in place
+            del self._plans[key]
+            self._nbytes -= self._costs.pop(key)
+        self._plans[key] = plan
+        self._costs[key] = cost
+        self._nbytes += cost
+        while (len(self._plans) > self.max_entries
+               or self._nbytes > self.max_bytes):
+            old_key, _ = self._plans.popitem(last=False)
+            self._nbytes -= self._costs.pop(old_key)
+            self.evictions += 1
+
+    def clear(self) -> None:
+        """Forget every plan (required after mutating the store)."""
+        self._plans.clear()
+        self._costs.clear()
+        self._nbytes = 0
+
+    def stats(self) -> dict:
+        """Counters for the obs layer: hits, misses, hit rate, size."""
+        total = self.hits + self.misses
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "entries": len(self._plans),
+            "nbytes": self._nbytes,
+            "hit_rate": self.hits / total if total else 0.0,
+        }
+
+    def __len__(self) -> int:
+        return len(self._plans)

@@ -19,7 +19,7 @@ import sys
 
 from repro.bench.harness import TABLE_SYSTEMS
 from repro.core import RunConfig, SYSTEMS, build_system
-from repro.core.metrics import scrub_nan
+from repro.core.metrics import metrics_dict as _metrics_dict, scrub_nan
 from repro.graph import DATASET_SPECS
 from repro.utils import fmt_bytes, fmt_time
 
@@ -68,17 +68,22 @@ def cmd_train(args) -> int:
 
 
 def cmd_compare(args) -> int:
-    """``repro compare``: Table-4-style system comparison."""
+    """``repro compare``: Table-4-style system comparison.
+
+    With ``--workers N`` each system's measured epoch runs in its own
+    worker process (one task per system, :mod:`repro.parallel`); the
+    printed table and JSON are bit-identical to a serial run.
+    """
+    from repro.bench.harness import compare_epochs
+
     cfg = _config(args)
     systems = args.systems.split(",") if args.systems else list(TABLE_SYSTEMS)
+    out = compare_epochs(
+        systems, cfg, max_batches=args.batches, workers=args.workers
+    )
     print(f"{'system':<10} {'epoch':>12} {'sample':>12} {'load':>12} "
           f"{'train':>12}")
-    out = {}
-    for name in systems:
-        m = build_system(name, cfg).run_epoch(
-            max_batches=args.batches, functional=False
-        )
-        out[name] = m
+    for name, m in out.items():
         print(f"{name:<10} {fmt_time(m.epoch_time):>12} "
               f"{fmt_time(m.sample_time):>12} {fmt_time(m.load_time):>12} "
               f"{fmt_time(m.train_time):>12}")
@@ -176,7 +181,15 @@ def cmd_serve(args) -> int:
             workload = make_workload(
                 wl_cfg, np.arange(system.base_dataset.num_nodes)
             )
-        points = qps_sweep(system, workload, qps_values, serve_cfg)
+        trace_base = None
+        if args.trace_base:
+            from repro.obs import run_trace_path
+
+            trace_base = run_trace_path(args.trace_base, name)
+        points = qps_sweep(
+            system, workload, qps_values, serve_cfg,
+            workers=args.workers, trace_base=trace_base,
+        )
         for p in points:
             r = p.report
             print(f"{name:<10} {p.qps:>10.0f} {fmt_time(r.p50):>10} "
@@ -239,6 +252,12 @@ def cmd_trace(args) -> int:
     print(format_breakdown(stall_breakdown(tracer, total, args.gpus), total))
     print()
     print(format_critical_path(critical_path(tracer)))
+    pc = getattr(system.loader, "plan_cache", None)
+    if pc is not None:
+        from repro.obs import format_plan_cache
+
+        print()
+        print(format_plan_cache(pc.stats()))
     if deadlock is not None:
         stuck = [ev for ev in tracer.spans() if ev.args.get("unresolved")]
         print(f"\nDEADLOCK after {total:.6f}s — {len(stuck)} unresolved "
@@ -257,31 +276,34 @@ def cmd_perf(args) -> int:
     Times the Python implementation itself (not simulated hardware):
     the CSP layer round against its chunked reference implementation,
     the feature loader against the seed's per-holder loop, a costed
-    DSP epoch and one serving sweep point.  Writes ``BENCH_perf.json``
-    so perf PRs carry measured before/after deltas (see
-    ``docs/performance.md``).
+    DSP epoch, one serving sweep point, and a whole QPS sweep (serial
+    vs the parallel executor).  Writes ``BENCH_perf.json`` so perf PRs
+    carry measured before/after deltas (see ``docs/performance.md``).
+
+    ``--baseline PATH`` additionally diffs the fresh run against a
+    committed baseline and exits nonzero when any benchmark's speedup
+    regressed by more than ``--tolerance`` (default 20%).
     """
-    from repro.bench.perf import format_perf, run_perf
+    from repro.bench.perf import diff_against_baseline, format_perf, run_perf
 
     benches = [b for b in args.benches.split(",") if b] if args.benches else None
-    payload = run_perf(quick=args.quick, benches=benches)
+    payload = run_perf(quick=args.quick, benches=benches, workers=args.workers)
     print(format_perf(payload))
     with open(args.out, "w") as f:
         json.dump(payload, f, indent=2)
         f.write("\n")
     print(f"\nwrote {args.out}")
+    if args.baseline:
+        with open(args.baseline) as f:
+            baseline = json.load(f)
+        report, regressions = diff_against_baseline(
+            payload, baseline, tolerance=args.tolerance
+        )
+        print()
+        print(report)
+        if regressions:
+            return 1
     return 0
-
-
-_METRIC_KEYS = (
-    "epoch_time", "sample_time", "load_time", "train_time",
-    "nvlink_bytes", "pcie_bytes", "network_bytes",
-    "loss", "val_accuracy", "utilization", "num_batches",
-)
-
-
-def _metrics_dict(m) -> dict:
-    return {key: scrub_nan(getattr(m, key)) for key in _METRIC_KEYS}
 
 
 def _emit_json(payload, args) -> None:
@@ -319,6 +341,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--systems", default="",
                    help="comma-separated subset (default: all five)")
     p.add_argument("--batches", type=int, default=6)
+    p.add_argument("--workers", type=int, default=1,
+                   help="worker processes, one task per system "
+                        "(default 1 = serial; results are bit-identical)")
     p.add_argument("--json", action="store_true")
     p.add_argument("--out", metavar="PATH",
                    help="write the JSON metrics to PATH instead of stdout")
@@ -373,6 +398,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="Zipf popularity exponent for seed nodes")
     p.add_argument("--functional", action="store_true",
                    help="run the real forward pass and report accuracy")
+    p.add_argument("--workers", type=int, default=1,
+                   help="worker processes, one task per sweep point "
+                        "(default 1 = serial; results are bit-identical)")
+    p.add_argument("--trace-base", metavar="PATH", default=None,
+                   help="write one Chrome trace per sweep point, named "
+                        "PATH-<system>-qps<Q>.json")
     p.add_argument("--json", action="store_true")
     p.add_argument("--out", metavar="PATH",
                    help="write the JSON report to PATH instead of stdout")
@@ -385,7 +416,17 @@ def build_parser() -> argparse.ArgumentParser:
                    help="small datasets / few iterations (CI smoke)")
     p.add_argument("--benches", default="",
                    help="comma-separated subset of: csp_layer, "
-                        "feature_load, epoch, serve_batch (default all)")
+                        "feature_load, epoch, serve_batch, sweep "
+                        "(default all)")
+    p.add_argument("--workers", type=int, default=1,
+                   help="worker processes, one task per benchmark "
+                        "(default 1 = serial)")
+    p.add_argument("--baseline", metavar="PATH", default=None,
+                   help="diff against a committed BENCH_perf.json; exit "
+                        "nonzero on >tolerance speedup regression")
+    p.add_argument("--tolerance", type=float, default=0.2,
+                   help="allowed fractional speedup regression vs the "
+                        "baseline (default 0.2)")
     p.add_argument("--out", metavar="PATH", default="BENCH_perf.json",
                    help="JSON output path (default BENCH_perf.json)")
     p.set_defaults(func=cmd_perf)

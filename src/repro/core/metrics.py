@@ -73,6 +73,19 @@ def _epoch_row(e: EpochMetrics) -> dict:
     return {name: getattr(e, name) for name in EPOCH_FIELDS}
 
 
+#: the metric subset the CLI exports as JSON (``repro train/compare``)
+CLI_METRIC_KEYS = (
+    "epoch_time", "sample_time", "load_time", "train_time",
+    "nvlink_bytes", "pcie_bytes", "network_bytes",
+    "loss", "val_accuracy", "utilization", "num_batches",
+)
+
+
+def metrics_dict(m: EpochMetrics) -> dict:
+    """JSON-safe dict of one epoch's CLI-exported metrics."""
+    return {key: scrub_nan(getattr(m, key)) for key in CLI_METRIC_KEYS}
+
+
 @dataclass
 class RunResult:
     """A full run: system + config identification and per-epoch metrics."""

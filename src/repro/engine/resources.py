@@ -48,6 +48,13 @@ class Resource:
     # -- accounting ----------------------------------------------------
     def _account(self) -> None:
         dt = self.sim.now - self._last_t
+        if dt == 0.0:
+            # Same-timestamp re-entry (acquire+release at one event time,
+            # or occupancy() followed by busy_fraction()): integrating a
+            # zero-width slice must not touch the integrals.  Guarding
+            # here keeps repeated metric reads idempotent by
+            # construction, not by floating-point luck.
+            return
         self._area += self.used * dt
         self._busy += dt if self.used > 0 else 0.0
         self._last_t = self.sim.now

@@ -18,6 +18,7 @@ from repro.obs.tracer import (
     wait_category,
 )
 from repro.obs.export import (
+    run_trace_path,
     to_chrome_trace,
     to_text,
     write_chrome_trace,
@@ -28,6 +29,8 @@ from repro.obs.analysis import (
     critical_path,
     format_breakdown,
     format_critical_path,
+    format_plan_cache,
+    plan_cache_stats,
     sm_busy_times,
     stall_breakdown,
 )
@@ -39,9 +42,12 @@ __all__ = [
     "CounterEvent",
     "WAIT_CATEGORIES",
     "wait_category",
+    "run_trace_path",
     "to_chrome_trace",
     "to_text",
     "write_chrome_trace",
+    "format_plan_cache",
+    "plan_cache_stats",
     "GpuBreakdown",
     "PathSegment",
     "critical_path",

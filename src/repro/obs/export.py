@@ -17,6 +17,7 @@ expect); events are sorted so timestamps are monotonically ordered.
 from __future__ import annotations
 
 import json
+import os
 import re
 
 from repro.obs.tracer import CounterEvent, InstantEvent, SpanEvent, Tracer
@@ -99,6 +100,22 @@ def write_chrome_trace(tracer: Tracer, path) -> None:
     """Write the Chrome trace JSON to ``path``."""
     with open(path, "w") as f:
         json.dump(to_chrome_trace(tracer), f)
+
+
+def run_trace_path(base, label: str) -> str:
+    """Per-run trace filename of a parallel fan-out.
+
+    Each run of a fan-out (a sweep point, a compared system) writes its
+    own Chrome trace next to the requested base path, tagged with the
+    run's label: ``run_trace_path("sweep.json", "qps2000")`` ->
+    ``"sweep-qps2000.json"``.  Label characters outside
+    ``[A-Za-z0-9._-]`` are collapsed to ``_`` so labels are always
+    filesystem-safe.
+    """
+    base = os.fspath(base)
+    root, ext = os.path.splitext(base)
+    safe = re.sub(r"[^A-Za-z0-9._-]+", "_", str(label)).strip("_")
+    return f"{root}-{safe}{ext or '.json'}"
 
 
 def to_text(tracer: Tracer) -> str:

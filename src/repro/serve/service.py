@@ -141,6 +141,7 @@ class GNNServer:
         system, cfg, k = self.system, self.config, self.k
         sim = Simulator(tracer=self.tracer)
         tracer = self.tracer
+        plan_cache = getattr(system.loader, "plan_cache", None)
 
         threads = [
             Resource(sim, system.cluster.gpu.total_threads,
@@ -251,6 +252,10 @@ class GNNServer:
                 )
                 for cost in system.engine.trace_cost(trace):
                     yield from run_op(g, cost, "load", batch.bid, track)
+                if tracer is not None and plan_cache is not None:
+                    tracer.counter("plan-cache", "plan-cache", sim.now,
+                                   hits=plan_cache.hits,
+                                   misses=plan_cache.misses)
                 batch.feats = feats
                 batch.stages["load"] = sim.now - t0
                 yield computeq[g].put(batch)
@@ -288,6 +293,8 @@ class GNNServer:
                         rec.prediction = int(preds[i])
 
         if tracer is not None:
+            if plan_cache is not None:
+                tracer.declare_track("plan-cache", group="cache", sort=0)
             for g in range(k):
                 tracer.declare_track(f"batcher-gpu{g}", group=f"gpu{g}", sort=0)
                 tracer.declare_track(f"sampler-gpu{g}", group=f"gpu{g}", sort=1)

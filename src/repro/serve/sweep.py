@@ -57,14 +57,53 @@ def qps_sweep(
     workload: Workload,
     qps_values,
     config: ServeConfig | None = None,
+    workers: int = 1,
+    trace_base=None,
 ) -> list[SweepPoint]:
-    """Serve the workload at each offered load, in increasing order."""
+    """Serve the workload at each offered load, in increasing order.
+
+    Every point is an independent run (``serve_once`` re-seeds the
+    sampler), so with ``workers > 1`` the points fan out across CPU
+    cores via :mod:`repro.parallel`; results are bit-identical to the
+    serial sweep because both paths run the same ``serve_point``
+    handler — the worker count only decides which process executes it.
+    With ``workers <= 1`` the caller's already-built system is reused
+    (adopted into the executor's per-process memo); workers build their
+    own copy from the run spec's config.
+
+    ``trace_base`` (a path like ``"sweep.json"``) makes each point
+    record a :class:`~repro.obs.Tracer` and write its own Chrome trace
+    named per run (``sweep-qps2000.json``, ...).
+    """
+    from repro.obs.export import run_trace_path
+    from repro.parallel import RunSpec, adopt_system, run_tasks
+
     values = sorted(float(q) for q in qps_values)
     if not values:
         raise ConfigError("need at least one QPS value")
-    return [
-        SweepPoint(qps=q, report=serve_once(system, workload, q, config))
+    specs = [
+        RunSpec(
+            kind="serve_point",
+            label=f"qps{q:g}",
+            seed=system.config.seed,
+            payload={
+                "system": system.name,
+                "config": system.config,
+                "workload": workload,
+                "qps": q,
+                "serve_config": config,
+            },
+            trace_path=(
+                run_trace_path(trace_base, f"qps{q:g}") if trace_base else None
+            ),
+        )
         for q in values
+    ]
+    if workers <= 1:
+        adopt_system(system)
+    reports = run_tasks(specs, workers=workers)
+    return [
+        SweepPoint(qps=q, report=r) for q, r in zip(values, reports)
     ]
 
 

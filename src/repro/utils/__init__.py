@@ -6,6 +6,7 @@ from repro.utils.errors import (
     CapacityError,
     DeadlockError,
     PartitionError,
+    WorkerError,
 )
 from repro.utils.units import KB, MB, GB, Bytes, fmt_bytes, fmt_time
 from repro.utils.rng import make_rng, spawn_rngs
@@ -16,6 +17,7 @@ __all__ = [
     "CapacityError",
     "DeadlockError",
     "PartitionError",
+    "WorkerError",
     "KB",
     "MB",
     "GB",

@@ -33,3 +33,20 @@ class DeadlockError(ReproError):
 
 class PartitionError(ReproError):
     """Graph partitioning failed or produced an invalid partition."""
+
+
+class WorkerError(ReproError):
+    """A run task failed inside a parallel worker process.
+
+    The child's formatted traceback is embedded in the message (and
+    kept on :attr:`child_traceback`) so a fan-out failure reads the
+    same as it would have when run serially.
+    """
+
+    def __init__(self, message: str, label: str = "",
+                 child_traceback: str = ""):
+        super().__init__(message)
+        #: label of the failing :class:`repro.parallel.RunSpec`
+        self.label = label
+        #: the traceback as formatted in the worker process
+        self.child_traceback = child_traceback

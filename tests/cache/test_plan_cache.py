@@ -1,0 +1,158 @@
+"""Tests for the feature-path plan cache (:mod:`repro.cache.plan`)."""
+
+import numpy as np
+import pytest
+
+from repro.cache import FeatureLoader, FeaturePlan, PlanCache, PartitionedCache
+from repro.utils import ConfigError
+
+
+def make_plan(n=4, k=2) -> FeaturePlan:
+    return FeaturePlan(
+        nodes=np.arange(n, dtype=np.int64),
+        n_local=n, n_remote=0, n_cold=0,
+        remote_row=np.zeros(k, dtype=np.int64),
+    )
+
+
+def make_loader(num_nodes=64, k=2, dim=4, budget=None, plan_cache=True):
+    offsets = np.linspace(0, num_nodes, k + 1).astype(np.int64)
+    if budget is None:
+        budget = max(1, num_nodes // (2 * k))
+    store = PartitionedCache(offsets, np.arange(num_nodes), budget)
+    features = np.arange(num_nodes * dim, dtype=np.float32).reshape(
+        num_nodes, dim
+    )
+    return FeatureLoader(features, store, plan_cache=plan_cache)
+
+
+class TestPlanCacheBasics:
+    def test_miss_then_hit(self):
+        cache = PlanCache()
+        key = PlanCache.key(0, np.arange(4, dtype=np.int64))
+        assert cache.lookup(key) is None
+        cache.store(key, make_plan())
+        assert cache.lookup(key) is not None
+        s = cache.stats()
+        assert (s["hits"], s["misses"], s["entries"]) == (1, 1, 1)
+        assert s["hit_rate"] == 0.5
+
+    def test_key_is_gpu_and_bytes(self):
+        req = np.arange(4, dtype=np.int64)
+        assert PlanCache.key(0, req) != PlanCache.key(1, req)
+        assert PlanCache.key(0, req) == PlanCache.key(0, req.copy())
+
+    def test_entry_bound_evicts_lru(self):
+        cache = PlanCache(max_entries=2)
+        keys = [PlanCache.key(g, np.arange(4, dtype=np.int64))
+                for g in range(3)]
+        for k in keys:
+            cache.store(k, make_plan())
+        assert len(cache) == 2
+        assert cache.evictions == 1
+        assert cache.lookup(keys[0]) is None  # the oldest went
+        assert cache.lookup(keys[2]) is not None
+
+    def test_lookup_refreshes_lru_order(self):
+        cache = PlanCache(max_entries=2)
+        k0 = PlanCache.key(0, np.arange(4, dtype=np.int64))
+        k1 = PlanCache.key(1, np.arange(4, dtype=np.int64))
+        cache.store(k0, make_plan())
+        cache.store(k1, make_plan())
+        cache.lookup(k0)  # touch: k1 becomes the LRU entry
+        cache.store(PlanCache.key(2, np.arange(4, dtype=np.int64)),
+                    make_plan())
+        assert cache.lookup(k0) is not None
+        assert cache.lookup(k1) is None
+
+    def test_byte_bound_evicts(self):
+        plan = make_plan(n=8)
+        cost = plan.nbytes + len(np.arange(8, dtype=np.int64).tobytes())
+        cache = PlanCache(max_entries=100, max_bytes=2 * cost)
+        for g in range(3):
+            cache.store(PlanCache.key(g, np.arange(8, dtype=np.int64)), plan)
+        assert len(cache) == 2
+        assert cache.stats()["nbytes"] <= cache.max_bytes
+
+    def test_oversized_plan_not_stored(self):
+        cache = PlanCache(max_bytes=8)
+        cache.store(PlanCache.key(0, np.arange(64, dtype=np.int64)),
+                    make_plan(n=64))
+        assert len(cache) == 0
+
+    def test_duplicate_store_refreshes_in_place(self):
+        cache = PlanCache()
+        key = PlanCache.key(0, np.arange(4, dtype=np.int64))
+        cache.store(key, make_plan())
+        before = cache.stats()["nbytes"]
+        cache.store(key, make_plan())
+        assert len(cache) == 1
+        assert cache.stats()["nbytes"] == before
+
+    def test_clear(self):
+        cache = PlanCache()
+        cache.store(PlanCache.key(0, np.arange(4, dtype=np.int64)),
+                    make_plan())
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats()["nbytes"] == 0
+
+    def test_bad_bounds_rejected(self):
+        with pytest.raises(ConfigError):
+            PlanCache(max_entries=0)
+        with pytest.raises(ConfigError):
+            PlanCache(max_bytes=0)
+
+
+class TestLoaderEquivalence:
+    def requests(self, num_nodes=64, k=2, seed=0):
+        rng = np.random.default_rng(seed)
+        return [rng.integers(0, num_nodes, size=24) for _ in range(k)]
+
+    def test_cached_load_bit_identical_to_uncached(self):
+        """The correctness contract: cache on/off changes nothing."""
+        cached = make_loader(plan_cache=True)
+        plain = make_loader(plan_cache=None)
+        reqs = self.requests()
+        for _ in range(3):  # round 2+ runs the hit path
+            feats_c, trace_c, stats_c = cached.load(reqs)
+            feats_p, trace_p, stats_p = plain.load(reqs)
+            assert stats_c == stats_p
+            for a, b in zip(feats_c, feats_p):
+                np.testing.assert_array_equal(a, b)
+            for op_c, op_p in zip(trace_c.ops, trace_p.ops):
+                for br_c, br_p in zip(op_c.branches, op_p.branches):
+                    for a, b in zip(br_c, br_p):
+                        if hasattr(a, "matrix"):
+                            np.testing.assert_array_equal(a.matrix, b.matrix)
+        assert cached.plan_cache.hits > 0
+
+    def test_repeat_blocks_hit(self):
+        loader = make_loader()
+        reqs = self.requests()
+        loader.load(reqs)
+        assert loader.plan_cache.stats()["hits"] == 0
+        loader.load(reqs)
+        s = loader.plan_cache.stats()
+        assert s["hits"] == len(reqs)
+        assert s["hit_rate"] == 0.5
+
+    def test_different_blocks_miss(self):
+        loader = make_loader()
+        loader.load(self.requests(seed=0))
+        loader.load(self.requests(seed=1))
+        assert loader.plan_cache.stats()["hits"] == 0
+
+    def test_plan_cache_flag_forms(self):
+        assert make_loader(plan_cache=True).plan_cache is not None
+        assert make_loader(plan_cache=False).plan_cache is None
+        assert make_loader(plan_cache=None).plan_cache is None
+        shared = PlanCache(max_entries=7)
+        assert make_loader(plan_cache=shared).plan_cache is shared
+
+    def test_empty_plan_cache_is_kept(self):
+        """Regression: a fresh PlanCache is falsy (len 0) and must not
+        be discarded by truthiness checks in the constructor."""
+        loader = make_loader(plan_cache=PlanCache())
+        assert loader.plan_cache is not None
+        assert len(loader.plan_cache) == 0

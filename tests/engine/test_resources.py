@@ -85,6 +85,47 @@ class TestResource:
         assert r.occupancy() == pytest.approx(0.5 * 0.4)
         assert r.busy_fraction() == pytest.approx(0.4)
 
+    def test_metric_reads_are_idempotent(self):
+        """Regression: occupancy()/busy_fraction() both call _account;
+        reading them repeatedly (or in either order) at one timestamp
+        must not perturb the integrals — the zero-width slice is
+        skipped outright rather than integrated."""
+        sim = Simulator()
+        r = Resource(sim, capacity=10)
+
+        def proc():
+            yield r.acquire(5)
+            yield Timeout(4.0)
+            r.release(5)
+            yield Timeout(6.0)
+
+        sim.spawn(proc())
+        sim.run()
+        first = (r.occupancy(), r.busy_fraction())
+        for _ in range(3):
+            assert r.busy_fraction() == pytest.approx(first[1])
+            assert r.occupancy() == pytest.approx(first[0])
+        assert r._area == pytest.approx(5 * 4.0)
+        assert r._busy == pytest.approx(4.0)
+
+    def test_same_timestamp_churn_does_not_account(self):
+        """Acquire+release pairs at one event time are zero-width: the
+        accounting integrals and busy fraction must ignore them."""
+        sim = Simulator()
+        r = Resource(sim, capacity=10)
+
+        def proc():
+            yield Timeout(1.0)
+            for _ in range(5):  # same-timestamp churn
+                yield r.acquire(10)
+                r.release(10)
+            yield Timeout(1.0)
+
+        sim.spawn(proc())
+        sim.run()
+        assert r.occupancy() == pytest.approx(0.0)
+        assert r.busy_fraction() == pytest.approx(0.0)
+
     def test_over_capacity_rejected(self):
         sim = Simulator()
         r = Resource(sim, capacity=4)

@@ -1,0 +1,90 @@
+"""Parallel-vs-serial bit-equivalence: the executor's correctness contract.
+
+``--workers N`` must change *which process* runs a simulation and
+nothing else.  These tests pin that by comparing the exact exported
+artifacts — sweep report JSON, compare metric dicts, and (under the
+deterministic fake clock) the whole ``BENCH_perf.json`` payload — for
+``workers`` in {1, 2, 4} on the products dataset.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import compare_epochs
+from repro.bench.perf import run_perf
+from repro.core import RunConfig, build_system
+from repro.core.metrics import metrics_dict
+from repro.serve import ServeConfig, WorkloadConfig, make_workload, qps_sweep
+
+WORKERS = (1, 2, 4)
+
+CFG = RunConfig(dataset="products", num_gpus=4, hidden_dim=16,
+                batch_size=8, fanout=(5, 3), seed=3)
+
+
+def sweep_json(workers: int) -> str:
+    """One products sweep -> canonical JSON, from a fresh system."""
+    system = build_system("DSP", CFG)
+    workload = make_workload(
+        WorkloadConfig(num_requests=64, seed=1),
+        np.arange(system.base_dataset.num_nodes),
+    )
+    points = qps_sweep(system, workload, [500.0, 2000.0],
+                       ServeConfig(functional=False), workers=workers)
+    return json.dumps(
+        [{"qps": p.qps, "report": p.report.to_dict()} for p in points]
+    )
+
+
+class TestSweepEquivalence:
+    def test_workers_do_not_change_sweep_json(self):
+        serial = sweep_json(1)
+        for n in WORKERS[1:]:
+            assert sweep_json(n) == serial, f"workers={n} diverged"
+
+
+class TestCompareEquivalence:
+    def test_workers_do_not_change_compare_metrics(self):
+        systems = ("PyG", "DGL-UVA", "DSP")
+        serial = compare_epochs(systems, CFG, max_batches=2, workers=1)
+        ref = json.dumps({n: metrics_dict(m) for n, m in serial.items()})
+        for n in WORKERS[1:]:
+            out = compare_epochs(systems, CFG, max_batches=2, workers=n)
+            assert list(out) == list(systems)
+            got = json.dumps({k: metrics_dict(m) for k, m in out.items()})
+            assert got == ref, f"workers={n} diverged"
+
+
+class TestPerfEquivalence:
+    def test_workers_do_not_change_perf_payload(self):
+        """Under the fake clock the payload is a pure function of the
+        inputs, so the merged BENCH_perf.json must be byte-identical
+        whichever process ran each benchmark."""
+        benches = ["csp_layer", "feature_load", "sweep"]
+        serial = json.dumps(
+            run_perf(quick=True, benches=benches, workers=1, clock="fake")
+        )
+        for n in WORKERS[1:]:
+            got = json.dumps(
+                run_perf(quick=True, benches=benches, workers=n, clock="fake")
+            )
+            assert got == serial, f"workers={n} diverged"
+
+
+class TestCrashPropagation:
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_bad_qps_surfaces_child_traceback(self, workers):
+        from repro.utils import WorkerError
+
+        system = build_system("DSP", CFG)
+        workload = make_workload(
+            WorkloadConfig(num_requests=16, seed=1),
+            np.arange(system.base_dataset.num_nodes),
+        )
+        with pytest.raises(WorkerError) as err:
+            qps_sweep(system, workload, [500.0, -1.0],
+                      ServeConfig(functional=False), workers=workers)
+        assert err.value.child_traceback  # the child's formatted stack
+        assert "Traceback" in str(err.value)
