@@ -1,0 +1,372 @@
+"""Named chaos scenarios and the resilience report behind ``repro chaos``.
+
+Each scenario is a recipe that turns a *horizon* (the fault-free run's
+simulated duration) and the GPU count into a :class:`FaultPlan`, so one
+scenario stresses every system proportionally: a straggler window that
+covers 60% of a DSP epoch also covers 60% of a DGL-UVA epoch, however
+different their absolute epoch times are.
+
+:func:`run_scenario` executes one ``(system, scenario)`` cell in two
+passes over *fresh* systems (``run_epoch`` advances RNG state, so the
+baseline and chaos passes must not share one):
+
+1. a fault-free pass with the invariant checker attached, yielding the
+   horizon and the baseline timing;
+2. the chaos pass under the scenario's plan, with the full
+   injector + watchdog + invariant stack.
+
+A pass that wedges on a crashed worker surfaces as outcome
+``"stalled"`` (the diagnosed :class:`~repro.utils.errors.PipelineStall`
+— itself a chaos deliverable); anything the invariant oracle rejects
+surfaces as ``"invariant-violation"``.
+
+:func:`resilience_report` fans the ``systems × scenarios`` matrix out
+through :mod:`repro.parallel` (run kind ``chaos_scenario``) and
+assembles one JSON-safe report.  Every cell is a pure function of
+``(system name, scenario, RunConfig)``, so the report is bit-identical
+across ``--workers`` settings and repeated runs — the determinism
+contract the chaos tests pin down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.chaos.faults import (
+    CachePeerLoss,
+    CollectiveDrop,
+    FaultPlan,
+    GpuStraggler,
+    LinkDegrade,
+    LinkFlap,
+    WorkerCrash,
+)
+from repro.chaos.injector import FaultInjector
+from repro.chaos.invariants import InvariantChecker
+from repro.chaos.runtime import ChaosConfig, ChaosRuntime
+from repro.utils.errors import ConfigError, InvariantViolation, PipelineStall
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named fault recipe: ``build(horizon, num_gpus) -> FaultPlan``."""
+
+    name: str
+    mode: str  # "train" (epoch replay) | "serve" (online serving)
+    build: Callable
+    blurb: str
+
+
+def _straggler(h: float, k: int) -> FaultPlan:
+    return FaultPlan((
+        GpuStraggler(0.1 * h, gpu=0, duration=0.6 * h, slowdown=4.0),
+    ))
+
+
+def _link_degrade(h: float, k: int) -> FaultPlan:
+    return FaultPlan((
+        LinkDegrade(0.1 * h, link="nvlink", duration=0.5 * h, factor=4.0),
+        LinkDegrade(0.1 * h, link="pcie", duration=0.5 * h, factor=4.0),
+    ))
+
+
+def _link_flap(h: float, k: int) -> FaultPlan:
+    return FaultPlan((
+        LinkFlap(0.25 * h, link="nvlink", duration=0.1 * h),
+        LinkFlap(0.55 * h, link="pcie", duration=0.1 * h),
+    ))
+
+
+def _sampler_crash(h: float, k: int) -> FaultPlan:
+    return FaultPlan((WorkerCrash(0.4 * h, gpu=k - 1, stage="sample"),))
+
+
+def _trainer_crash(h: float, k: int) -> FaultPlan:
+    return FaultPlan((WorkerCrash(0.4 * h, gpu=0, stage="train"),))
+
+
+def _collective_drop(h: float, k: int) -> FaultPlan:
+    return FaultPlan((
+        CollectiveDrop(0.2 * h, gpu=min(1, k - 1), duration=0.5 * h),
+    ))
+
+
+def _cache_peer_loss(h: float, k: int) -> FaultPlan:
+    return FaultPlan((CachePeerLoss(0.0, gpu=0),))
+
+
+#: the scenario registry, keyed by CLI name
+SCENARIOS: dict[str, Scenario] = {
+    s.name: s
+    for s in (
+        Scenario("straggler", "train", _straggler,
+                 "GPU 0 computes 4x slower for 60% of the epoch"),
+        Scenario("link-degrade", "train", _link_degrade,
+                 "NVLink and PCIe run 4x slower for half the epoch"),
+        Scenario("link-flap", "train", _link_flap,
+                 "short NVLink then PCIe blackouts mid-epoch"),
+        Scenario("sampler-crash", "train", _sampler_crash,
+                 "the last GPU's sampler worker exits mid-epoch"),
+        Scenario("trainer-crash", "train", _trainer_crash,
+                 "GPU 0's trainer exits mid-epoch (expected stall)"),
+        Scenario("collective-drop", "train", _collective_drop,
+                 "one GPU stops joining collectives for half the epoch"),
+        Scenario("cache-peer-loss", "serve", _cache_peer_loss,
+                 "GPU 0's cache shard is lost; serving fails over to UVA"),
+    )
+}
+
+
+def _get(scenario: str) -> Scenario:
+    try:
+        return SCENARIOS[scenario]
+    except KeyError:
+        raise ConfigError(
+            f"unknown scenario {scenario!r}; known: {sorted(SCENARIOS)}"
+        ) from None
+
+
+def _inv_summary(inv: InvariantChecker | None) -> dict | None:
+    return None if inv is None else inv.summary()
+
+
+def run_scenario(
+    system_name: str,
+    scenario: str,
+    config,
+    chaos_config: ChaosConfig | None = None,
+    max_batches: int | None = 4,
+    requests: int = 64,
+    qps: float = 2000.0,
+) -> dict:
+    """One ``(system, scenario)`` cell -> a JSON-safe result dict."""
+    sc = _get(scenario)
+    if sc.mode == "serve":
+        return _run_serve_scenario(system_name, sc, config, chaos_config,
+                                   requests, qps)
+    return _run_train_scenario(system_name, sc, config, chaos_config,
+                               max_batches)
+
+
+def _run_train_scenario(system_name: str, sc: Scenario, config,
+                        chaos_config: ChaosConfig | None,
+                        max_batches: int | None) -> dict:
+    from repro.core import build_system
+
+    baseline_sys = build_system(system_name, config)
+    base_chaos = ChaosRuntime(FaultPlan(), chaos_config)
+    baseline_sys.run_epoch(max_batches=max_batches, functional=False,
+                           chaos=base_chaos)
+    base = baseline_sys.last_pipeline_result
+    plan = sc.build(base.epoch_time, config.num_gpus)
+
+    system = build_system(system_name, config)
+    runtime = ChaosRuntime(plan, chaos_config)
+    outcome, dead = "completed", ()
+    try:
+        system.run_epoch(max_batches=max_batches, functional=False,
+                         chaos=runtime)
+    except PipelineStall as err:
+        outcome, dead = "stalled", tuple(sorted(err.dead))
+    except InvariantViolation:
+        outcome = "invariant-violation"
+    res = (getattr(system, "last_pipeline_result", None)
+           if outcome == "completed" else None)
+    out = {
+        "system": system_name,
+        "scenario": sc.name,
+        "mode": "train",
+        "outcome": outcome,
+        "faults": plan.kind_counts(),
+        "baseline_epoch_time": base.epoch_time,
+        "epoch_time": None if res is None else res.epoch_time,
+        "slowdown": (
+            None if res is None or base.epoch_time <= 0
+            else res.epoch_time / base.epoch_time
+        ),
+        "lost_batches": None if res is None else res.lost_batches,
+        "degraded_rounds": None if res is None else res.degraded_rounds,
+        "aborted_rounds": None if res is None else res.aborted_rounds,
+        "invariants": _inv_summary(runtime.invariants),
+        "baseline_invariants": _inv_summary(base_chaos.invariants),
+    }
+    if dead:
+        out["dead_workers"] = list(dead)
+    return out
+
+
+def _serve_pass(system_name: str, config, serve_cfg, workload, qps: float,
+                cc: ChaosConfig, plan: FaultPlan):
+    """One serving run on a fresh system; returns (report, invariants)."""
+    from repro.core import build_system
+    from repro.serve.service import GNNServer
+
+    system = build_system(system_name, config)
+    inv = (InvariantChecker(strict=cc.strict_invariants)
+           if cc.check_invariants else None)
+    injector = None if plan.fault_free else FaultInjector(plan)
+    report = GNNServer(system, serve_cfg, injector=injector,
+                       invariants=inv).run(workload.requests(qps),
+                                           offered_qps=qps)
+    if inv is not None:
+        inv.finalize()
+    return report, inv
+
+
+def _run_serve_scenario(system_name: str, sc: Scenario, config,
+                        chaos_config: ChaosConfig | None,
+                        requests: int, qps: float) -> dict:
+    import numpy as np
+
+    from repro.core import build_system
+    from repro.serve import ServeConfig, WorkloadConfig, make_workload
+
+    cc = chaos_config if chaos_config is not None else ChaosConfig()
+    serve_cfg = ServeConfig()
+    wl_cfg = WorkloadConfig(num_requests=requests, seed=config.seed)
+    # one workload shared by both passes, in the dataset's original ids
+    probe = build_system(system_name, config)
+    workload = make_workload(wl_cfg, np.arange(probe.base_dataset.num_nodes))
+    del probe
+
+    base, base_inv = _serve_pass(system_name, config, serve_cfg, workload,
+                                 qps, cc, FaultPlan())
+    plan = sc.build(base.elapsed, config.num_gpus)
+    outcome = "completed"
+    report, inv = None, None
+    try:
+        report, inv = _serve_pass(system_name, config, serve_cfg, workload,
+                                  qps, cc, plan)
+    except InvariantViolation:
+        outcome = "invariant-violation"
+    return {
+        "system": system_name,
+        "scenario": sc.name,
+        "mode": "serve",
+        "outcome": outcome,
+        "faults": plan.kind_counts(),
+        "baseline_elapsed": base.elapsed,
+        "elapsed": None if report is None else report.elapsed,
+        "slowdown": (
+            None if report is None or base.elapsed <= 0
+            else report.elapsed / base.elapsed
+        ),
+        "degraded": None if report is None else report.degraded,
+        "completed": None if report is None else report.completed,
+        "shed": None if report is None else report.shed,
+        "p99_ms": None if report is None else report.p99 * 1e3,
+        "invariants": _inv_summary(inv),
+        "baseline_invariants": _inv_summary(base_inv),
+    }
+
+
+def resilience_report(
+    systems,
+    scenarios,
+    config,
+    chaos_config: ChaosConfig | None = None,
+    max_batches: int | None = 4,
+    requests: int = 64,
+    qps: float = 2000.0,
+    workers: int = 1,
+) -> dict:
+    """Run the ``systems × scenarios`` matrix; one JSON-safe report.
+
+    Each cell is an independent :class:`~repro.parallel.RunSpec`
+    (kind ``chaos_scenario``), so ``workers > 1`` fans the matrix out
+    across processes with bit-identical results.
+    """
+    from repro.parallel import RunSpec, run_tasks
+
+    scenarios = list(scenarios)
+    for name in scenarios:
+        _get(name)  # fail fast on typos, before any simulation runs
+    specs = [
+        RunSpec(
+            kind="chaos_scenario",
+            label=f"{system}/{scenario}",
+            seed=config.seed,
+            payload={
+                "system": system,
+                "scenario": scenario,
+                "config": config,
+                "options": {
+                    "chaos_config": chaos_config,
+                    "max_batches": max_batches,
+                    "requests": requests,
+                    "qps": qps,
+                },
+            },
+        )
+        for system in systems
+        for scenario in scenarios
+    ]
+    results = run_tasks(specs, workers=workers)
+
+    by_system: dict = {}
+    for res in results:
+        by_system.setdefault(res["system"], {})[res["scenario"]] = res
+    outcomes = [r["outcome"] for r in results]
+    clean = all(
+        (r.get("invariants") or {"clean": True})["clean"]
+        and (r.get("baseline_invariants") or {"clean": True})["clean"]
+        for r in results
+    )
+    return {
+        "scenarios": scenarios,
+        "systems": by_system,
+        "summary": {
+            "runs": len(results),
+            "completed": outcomes.count("completed"),
+            "stalled": outcomes.count("stalled"),
+            "invariant_violations": outcomes.count("invariant-violation"),
+            "invariants_clean": clean,
+        },
+    }
+
+
+def format_report(payload: dict) -> str:
+    """Render a resilience report as the ``repro chaos`` text table."""
+    lines = [
+        f"{'system':<10} {'scenario':<16} {'outcome':<20} {'slowdown':>9} "
+        f"{'lost':>5} {'degr':>5} {'abrt':>5}  detail"
+    ]
+    for system, cells in payload["systems"].items():
+        for scenario in payload["scenarios"]:
+            r = cells[scenario]
+            slow = r.get("slowdown")
+            slow_s = "-" if slow is None else f"{slow:8.2f}x"
+            lost = r.get("lost_batches")
+            degr = (r.get("degraded_rounds") if r["mode"] == "train"
+                    else r.get("degraded"))
+            abrt = r.get("aborted_rounds")
+            detail = ""
+            if r.get("dead_workers"):
+                detail = "dead: " + ", ".join(r["dead_workers"])
+            elif r["mode"] == "serve" and r.get("shed") is not None:
+                detail = f"shed {r['shed']}"
+            lines.append(
+                f"{system:<10} {scenario:<16} {r['outcome']:<20} "
+                f"{slow_s:>9} "
+                f"{'-' if lost is None else lost:>5} "
+                f"{'-' if degr is None else degr:>5} "
+                f"{'-' if abrt is None else abrt:>5}  {detail}"
+            )
+    s = payload["summary"]
+    lines.append(
+        f"\n{s['runs']} runs: {s['completed']} completed, "
+        f"{s['stalled']} stalled, {s['invariant_violations']} invariant "
+        f"violation(s); invariants "
+        f"{'clean' if s['invariants_clean'] else 'DIRTY'}"
+    )
+    return "\n".join(lines)
+
+
+__all__ = [
+    "SCENARIOS",
+    "Scenario",
+    "format_report",
+    "resilience_report",
+    "run_scenario",
+]

@@ -9,6 +9,7 @@ Commands
 ``serve``    online inference serving: QPS sweep, SLO accounting, knee
 ``trace``    run one traced epoch; write a Chrome trace, print stalls
 ``perf``     wall-clock microbenchmarks -> BENCH_perf.json
+``chaos``    deterministic fault-injection scenarios -> resilience report
 """
 
 from __future__ import annotations
@@ -162,6 +163,7 @@ def cmd_serve(args) -> int:
         queue_capacity=args.queue_capacity,
         slo_s=args.slo_ms * 1e-3,
         functional=args.functional,
+        check_invariants=args.invariants,
     )
     wl_cfg = WorkloadConfig(
         num_requests=args.requests,
@@ -306,6 +308,46 @@ def cmd_perf(args) -> int:
     return 0
 
 
+def cmd_chaos(args) -> int:
+    """``repro chaos``: run the fault-injection scenario suite.
+
+    Executes the ``systems x scenarios`` matrix (each cell: fault-free
+    baseline pass, then the scenario's :class:`~repro.chaos.FaultPlan`
+    with the injector, CCC watchdog and invariant checker armed),
+    prints the resilience table and optionally emits the JSON report.
+    The report is deterministic: same config, same seed, any
+    ``--workers`` -> byte-identical JSON (see ``docs/robustness.md``).
+
+    Exit code 1 iff any run violated a simulation invariant — stalls
+    from crash scenarios are *findings*, not harness failures.
+    """
+    from repro.chaos.scenarios import (
+        SCENARIOS,
+        format_report,
+        resilience_report,
+    )
+
+    cfg = _config(args)
+    systems = [s for s in args.systems.split(",") if s]
+    scenarios = (
+        [s for s in args.scenarios.split(",") if s]
+        if args.scenarios else sorted(SCENARIOS)
+    )
+    payload = resilience_report(
+        systems,
+        scenarios,
+        cfg,
+        max_batches=args.batches,
+        requests=args.requests,
+        qps=args.qps,
+        workers=args.workers,
+    )
+    print(format_report(payload))
+    if args.json or args.out:
+        _emit_json(payload, args)
+    return 0 if payload["summary"]["invariant_violations"] == 0 else 1
+
+
 def _emit_json(payload, args) -> None:
     """Write ``payload`` to ``--out`` when given, else to stdout."""
     if getattr(args, "out", None):
@@ -398,6 +440,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="Zipf popularity exponent for seed nodes")
     p.add_argument("--functional", action="store_true",
                    help="run the real forward pass and report accuracy")
+    p.add_argument("--invariants", action="store_true",
+                   help="audit every point with the simulation "
+                        "invariant checker (report is unchanged; a "
+                        "broken simulation raises instead)")
     p.add_argument("--workers", type=int, default=1,
                    help="worker processes, one task per sweep point "
                         "(default 1 = serial; results are bit-identical)")
@@ -430,6 +476,31 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", metavar="PATH", default="BENCH_perf.json",
                    help="JSON output path (default BENCH_perf.json)")
     p.set_defaults(func=cmd_perf)
+
+    p = sub.add_parser(
+        "chaos", help="fault-injection scenarios -> resilience report"
+    )
+    _add_workload_args(p)
+    p.add_argument("--systems", default="DSP,DSP-Pull,DGL-UVA",
+                   help="comma-separated systems to stress "
+                        "(default DSP,DSP-Pull,DGL-UVA)")
+    p.add_argument("--scenarios", default="",
+                   help="comma-separated scenario names "
+                        "(default: all; see docs/robustness.md)")
+    p.add_argument("--batches", type=int, default=4,
+                   help="mini-batches per training scenario (default 4)")
+    p.add_argument("--requests", type=int, default=64,
+                   help="requests per serving scenario (default 64)")
+    p.add_argument("--qps", type=float, default=2000.0,
+                   help="offered load for serving scenarios (default 2000)")
+    p.add_argument("--workers", type=int, default=1,
+                   help="worker processes, one task per (system, "
+                        "scenario) cell (default 1 = serial; the report "
+                        "is bit-identical)")
+    p.add_argument("--json", action="store_true")
+    p.add_argument("--out", metavar="PATH",
+                   help="write the JSON report to PATH instead of stdout")
+    p.set_defaults(func=cmd_chaos)
     return parser
 
 

@@ -14,6 +14,19 @@ conditions that can deadlock (Fig 8).  With ``ccc=True`` a
 order globally and the pipeline is deadlock-free; with ``ccc=False``
 and few channels the Fig 8 interleaving really deadlocks (the ablation
 benchmark shows it).
+
+Chaos integration (``repro.chaos``): an ``injector`` perturbs the
+replay — straggler slowdowns, link degradation/blackouts, worker
+crashes, stalled queues, delayed/dropped collective participants —
+while a :class:`~repro.engine.coordination.CollectiveGuard` watchdog
+keeps collective rounds from hanging forever (abort/retry/abandon) and
+an ``invariants`` checker audits the run.  Both hooks are duck-typed
+and default to ``None``; the fault-free path executes the exact same
+yield sequence as before they existed.  When the pipeline wedges on a
+bounded queue whose other side has exited (e.g. a crashed trainer with
+producers blocked on a full queue), the deadlock is diagnosed and
+re-raised as :class:`~repro.utils.errors.PipelineStall` naming the dead
+worker(s).
 """
 
 from __future__ import annotations
@@ -24,7 +37,9 @@ import numpy as np
 
 from repro.core.cost import OpCost
 from repro.engine import (
+    ROUND_ABANDONED,
     BoundedQueue,
+    CollectiveGuard,
     LaunchGate,
     Rendezvous,
     Resource,
@@ -32,7 +47,7 @@ from repro.engine import (
 )
 from repro.engine.simulator import Timeout
 from repro.hw.devices import Cluster
-from repro.utils.errors import ConfigError
+from repro.utils.errors import ConfigError, DeadlockError, PipelineStall
 
 #: pipeline stages in dependency order
 STAGES = ("sample", "load", "train")
@@ -46,6 +61,11 @@ class PipelineResult:
     utilization: float  # mean thread-weighted occupancy across GPUs
     busy_fraction: float  # mean any-kernel-resident fraction
     per_gpu_busy: tuple = ()  # per-GPU any-kernel-resident fractions
+    # chaos accounting (all zero on fault-free runs)
+    lost_batches: int = 0  # (gpu, stage, batch) triples lost to faults
+    degraded_rounds: int = 0  # collective rounds abandoned by the watchdog
+    aborted_rounds: int = 0  # watchdog aborts (incl. rounds that retried ok)
+    invariants: dict | None = None  # InvariantChecker.summary() when audited
 
 
 class PipelineRunner:
@@ -63,6 +83,11 @@ class PipelineRunner:
         loader_workers: int = 1,
         tracer=None,
         batch_info: list | None = None,
+        injector=None,
+        invariants=None,
+        collective_timeout: float | None = None,
+        max_retries: int = 3,
+        backoff: float | None = None,
     ):
         """``batches[t]`` maps stage name -> list of OpCost for batch t.
 
@@ -84,6 +109,16 @@ class PipelineRunner:
         ``{"cache": {...}}`` — cumulative cache hit/miss counters at
         the simulated time each batch's load stage completes.  With
         ``tracer=None`` no event objects are allocated at all.
+
+        ``injector`` (a :class:`repro.chaos.FaultInjector`) perturbs
+        the replay; ``invariants`` (an
+        :class:`repro.chaos.InvariantChecker`) audits it.  A
+        :class:`~repro.engine.coordination.CollectiveGuard` watchdog is
+        armed whenever an injector is present or
+        ``collective_timeout`` is given explicitly;
+        ``collective_timeout=None`` auto-scales the timeout to the
+        costliest batch.  Both default to ``None`` — the fault-free
+        path is bit-identical to a runner without these parameters.
         """
         for b in batches:
             if set(b) != set(STAGES):
@@ -102,13 +137,44 @@ class PipelineRunner:
         self.loader_workers = loader_workers
         self.tracer = tracer
         self.batch_info = batch_info
+        self.injector = injector
+        self.invariants = invariants
+        self.collective_timeout = collective_timeout
+        self.max_retries = max_retries
+        self.backoff = backoff
+
+    # ------------------------------------------------------------------
+    def _auto_timeout(self) -> float:
+        """Watchdog timeout: twice the costliest batch's serial time.
+
+        Generous enough that healthy-but-straggling peers rarely trip
+        it (a false abort only costs a retry), small enough that a
+        genuinely absent participant is detected within a batch or two.
+        """
+        worst = 0.0
+        for b in self.batches:
+            total = 0.0
+            for stage in STAGES:
+                for cost in b[stage]:
+                    if cost.collective or cost.host:
+                        total += float(cost.stage)
+                    else:
+                        total += float(np.max(cost.per_gpu))
+            worst = max(worst, total)
+        return 2.0 * worst + 1e-9
 
     # ------------------------------------------------------------------
     def run(self) -> PipelineResult:
         """Simulate the epoch; returns wall time and GPU utilization."""
         k = self.cluster.num_gpus
         tracer = self.tracer
+        inj = self.injector
+        inv = self.invariants
         sim = Simulator(tracer=tracer)
+        if inv is not None:
+            sim.invariants = inv
+        if inj is not None:
+            inj.install(sim)
         threads = [
             Resource(sim, self.cluster.gpu.total_threads, name=f"gpu{g}-sm")
             for g in range(k)
@@ -119,20 +185,49 @@ class PipelineRunner:
         ]
         barrier = Rendezvous(sim, name="collective")
         gate = LaunchGate(sim, k) if (self.ccc and k > 1) else None
+        guard = None
+        if inj is not None or self.collective_timeout is not None:
+            timeout = (self.collective_timeout
+                       if self.collective_timeout is not None
+                       else self._auto_timeout())
+            guard = CollectiveGuard(sim, timeout,
+                                    max_retries=self.max_retries,
+                                    backoff=self.backoff)
 
         # cumulative cluster-wide wire bytes per link class; each GPU's
         # replay of an op adds a 1/k share because OpCost byte fields
         # are already cluster totals for the op
         link_totals = {"nvlink": 0.0, "pcie": 0.0, "network": 0.0}
         cache_totals: dict = {}
+        # chaos accounting: bytes skipped by degraded (abandoned)
+        # collective rounds, and (gpu, stage, batch) triples lost to
+        # crashed workers — mirrors what the invariant checker records
+        skipped_bytes: dict = {}
+        lost_triples: set = set()
 
-        def trace_op(g: int, cost: OpCost, tag, track: str, t0: float):
+        def note_lost(g: int, stage: str, t: int, reason: str) -> None:
+            lost_triples.add((g, stage, t))
+            if inv is not None:
+                inv.note_lost(g, stage, t, reason)
+            if tracer is not None:
+                tracer.instant("chaos", f"lost:{stage}", sim.now,
+                               cat="chaos", gpu=g, batch=t, reason=reason)
+
+        def stage_done(g: int, stage: str, t: int) -> None:
+            if inv is not None:
+                inv.on_stage_done(g, stage, t)
+
+        def trace_op(g: int, cost: OpCost, tag, track: str, t0: float,
+                     degraded: bool = False):
             stage, batch = tag[0], tag[1]
+            extra = {"degraded": True} if degraded else {}
             tracer.span(
                 track, cost.label, cat=stage, start=t0, end=sim.now,
                 gpu=g, stage=stage, batch=batch,
-                collective=cost.collective, host=cost.host,
+                collective=cost.collective, host=cost.host, **extra,
             )
+            if degraded:
+                return
             share = 1.0 / k
             bumped = False
             for link, nbytes in cost.link_bytes().items():
@@ -142,6 +237,21 @@ class PipelineRunner:
             if bumped:
                 tracer.counter("link-bytes", "cumulative", sim.now,
                                **link_totals)
+
+        def finish_op(g: int, cost: OpCost, tag, track: str, t0: float,
+                      degraded: bool) -> None:
+            if degraded:
+                for link, nbytes in cost.link_bytes().items():
+                    if nbytes:
+                        skipped_bytes[link] = (
+                            skipped_bytes.get(link, 0.0) + nbytes / k
+                        )
+            elif inv is not None:
+                for link, nbytes in cost.link_bytes().items():
+                    if nbytes:
+                        inv.on_bytes(link, nbytes / k)
+            if tracer is not None:
+                trace_op(g, cost, tag, track, t0, degraded)
 
         def emit_batch_info(t: int) -> None:
             """Cumulative cache hit/miss counters when batch t's load
@@ -159,9 +269,12 @@ class PipelineRunner:
             t0 = sim.now
             if cost.host:
                 # host-side work: the GPU just waits
+                if inj is not None:
+                    bw = inj.blackout_wait(cost)
+                    if bw > 0.0:
+                        yield Timeout(bw)
                 yield Timeout(float(cost.stage))
-                if tracer is not None:
-                    trace_op(g, cost, tag, track, t0)
+                finish_op(g, cost, tag, track, t0, False)
                 return
             footprint = min(cost.threads, threads[g].capacity)
             if cost.collective:
@@ -171,18 +284,69 @@ class PipelineRunner:
                 yield threads[g].acquire(footprint)
                 if gate is not None:
                     gate.launched(g, tag)
-                yield barrier.arrive(tag, k)
-                yield Timeout(float(cost.stage))
+                if inj is not None:
+                    d = inj.collective_delay(g)
+                    if d > 0.0:
+                        yield Timeout(d)
+                    # a dropped participant goes dark for the window
+                    d = inj.drop_wait(g)
+                    if d > 0.0:
+                        yield Timeout(d)
+                degraded = False
+                if guard is not None:
+                    outcome = yield from guard.join(tag, k)
+                    degraded = outcome == ROUND_ABANDONED
+                else:
+                    yield barrier.arrive(tag, k)
+                dur = float(cost.stage)
+                if inj is not None:
+                    bw = inj.blackout_wait(cost)
+                    if bw > 0.0:
+                        yield Timeout(bw)
+                    dur *= inj.comm_scale(g, cost)
+                yield Timeout(dur)
                 threads[g].release(footprint)
                 channels[g].release(1)
+                finish_op(g, cost, tag, track, t0, degraded)
             else:
                 yield threads[g].acquire(footprint)
-                yield Timeout(float(cost.per_gpu[g]))
+                dur = float(cost.per_gpu[g])
+                if inj is not None:
+                    if any(cost.link_bytes().values()):
+                        bw = inj.blackout_wait(cost)
+                        if bw > 0.0:
+                            yield Timeout(bw)
+                        dur *= inj.comm_scale(g, cost)
+                    else:
+                        dur *= inj.compute_scale(g)
+                yield Timeout(dur)
                 threads[g].release(footprint)
-            if tracer is not None:
-                trace_op(g, cost, tag, track, t0)
+                finish_op(g, cost, tag, track, t0, False)
+
+        def skip_ops(g: int, stage: str, t: int):
+            """Walk a lost batch's collective tags through the CCC gate.
+
+            The gate requires *every* GPU to launch *every* tag in the
+            global order, so a worker that silently drops a batch would
+            wedge its own GPU's later launches (and, on the leader,
+            stop the order from growing at all).  Skipped launches are
+            free — no resources, no rendezvous, no bytes — the dead
+            participant's peers still time out and degrade through the
+            watchdog.
+            """
+            if gate is None:
+                return
+            for i, cost in enumerate(self.batches[t][stage]):
+                if cost.collective:
+                    tag = (stage, t, i)
+                    yield gate.wait_turn(g, tag)
+                    gate.launched(g, tag)
 
         B = len(self.batches)
+        procs: dict = {}
+        queue_producers: dict = {}
+        queue_consumers: dict = {}
+        op_worker = None  # (gpu, tag) -> worker name that launches it
         if self.sequential:
             # one worker per GPU runs sample -> load -> train per batch,
             # with a cross-GPU barrier between batches (BSP steps)
@@ -190,17 +354,32 @@ class PipelineRunner:
                 track = f"seq-gpu{g}"
                 for t in range(B):
                     for stage in STAGES:
+                        if inj is not None and inj.crashed(g, stage):
+                            # degraded participation: skip the ops but
+                            # keep the launch order legal and keep
+                            # arriving at the batch-end barrier
+                            note_lost(g, stage, t, "worker-crash")
+                            yield from skip_ops(g, stage, t)
+                            continue
+                        if inj is not None:
+                            st = inj.queue_stall(g, stage)
+                            if st > 0.0:
+                                yield Timeout(st)
                         for i, cost in enumerate(self.batches[t][stage]):
                             yield from run_op(g, cost, (stage, t, i), track)
+                        stage_done(g, stage, t)
                         if stage == "load" and tracer is not None and g == 0:
                             emit_batch_info(t)
                     if k > 1:
                         yield barrier.arrive(("batch-end", t), k)
 
+            def op_worker(g: int, tag) -> str:
+                return f"seq-gpu{g}"
+
             for g in range(k):
                 if tracer is not None:
                     tracer.declare_track(f"seq-gpu{g}", group=f"gpu{g}")
-                sim.spawn(worker(g), name=f"seq-gpu{g}")
+                procs[f"seq-gpu{g}"] = sim.spawn(worker(g), name=f"seq-gpu{g}")
         else:
             S, L = self.sampler_workers, self.loader_workers
             # one loader input queue per loader instance: batch t is
@@ -214,20 +393,63 @@ class PipelineRunner:
                 BoundedQueue(sim, self.queue_capacity, name=f"gpu{g}-trainq")
                 for g in range(k)
             ]
+            for g in range(k):
+                for w in range(L):
+                    queue_producers[f"gpu{g}-loadq{w}"] = [
+                        f"sampler{s}-gpu{g}" for s in range(S)
+                    ]
+                    queue_consumers[f"gpu{g}-loadq{w}"] = [f"loader{w}-gpu{g}"]
+                queue_producers[f"gpu{g}-trainq"] = [
+                    f"loader{w}-gpu{g}" for w in range(L)
+                ]
+                queue_consumers[f"gpu{g}-trainq"] = [f"trainer-gpu{g}"]
 
             def sampler(g: int, w: int):
                 track = f"sampler{w}-gpu{g}"
                 for t in range(w, B, S):
+                    if inj is not None and inj.crashed(g, "sample"):
+                        # flush loss markers for the rest of the stripe
+                        # so downstream stages account them and exit
+                        for tt in range(t, B, S):
+                            note_lost(g, "sample", tt, "worker-crash")
+                            yield from skip_ops(g, "sample", tt)
+                            yield queues_sl[g][tt % L].put(("lost", tt))
+                        return
+                    if inj is not None:
+                        st = inj.queue_stall(g, "sample")
+                        if st > 0.0:
+                            yield Timeout(st)
                     for i, cost in enumerate(self.batches[t]["sample"]):
                         yield from run_op(g, cost, ("sample", t, i), track)
+                    stage_done(g, "sample", t)
                     yield queues_sl[g][t % L].put(t)
 
             def loader(g: int, w: int):
                 track = f"loader{w}-gpu{g}"
                 for _ in range(w, B, L):
-                    t = yield queues_sl[g][w].get()
+                    if inj is not None:
+                        st = inj.queue_stall(g, "load")
+                        if st > 0.0:
+                            yield Timeout(st)
+                    item = yield queues_sl[g][w].get()
+                    if type(item) is tuple:
+                        # upstream loss marker: forward it downstream
+                        t = item[1]
+                        note_lost(g, "load", t, "upstream-lost")
+                        yield from skip_ops(g, "load", t)
+                        yield queues_lt[g].put(("lost", t))
+                        continue
+                    t = item
+                    if inj is not None and inj.crashed(g, "load"):
+                        # a crashed loader keeps draining its input so
+                        # the pipeline degrades instead of wedging
+                        note_lost(g, "load", t, "worker-crash")
+                        yield from skip_ops(g, "load", t)
+                        yield queues_lt[g].put(("lost", t))
+                        continue
                     for i, cost in enumerate(self.batches[t]["load"]):
                         yield from run_op(g, cost, ("load", t, i), track)
+                    stage_done(g, "load", t)
                     if tracer is not None and g == 0:
                         emit_batch_info(t)
                     yield queues_lt[g].put(t)
@@ -236,18 +458,45 @@ class PipelineRunner:
                 # BSP: consume strictly in batch order, stashing early
                 # arrivals from out-of-order loader instances
                 track = f"trainer-gpu{g}"
-                stash: set[int] = set()
+                stash: dict = {}
                 next_t = 0
                 while next_t < B:
+                    if inj is not None and inj.crashed(g, "train"):
+                        # the BSP sink has no degraded mode: it stops
+                        # consuming, which upstream sees as a stall
+                        for tt in range(next_t, B):
+                            note_lost(g, "train", tt, "worker-crash")
+                        return
                     if next_t in stash:
-                        stash.remove(next_t)
-                        for i, cost in enumerate(self.batches[next_t]["train"]):
-                            yield from run_op(g, cost, ("train", next_t, i),
-                                              track)
+                        status = stash.pop(next_t)
+                        if status == "ok":
+                            for i, cost in enumerate(
+                                    self.batches[next_t]["train"]):
+                                yield from run_op(
+                                    g, cost, ("train", next_t, i), track)
+                            stage_done(g, "train", next_t)
+                        else:
+                            note_lost(g, "train", next_t, "upstream-lost")
+                            yield from skip_ops(g, "train", next_t)
                         next_t += 1
                         continue
-                    t = yield queues_lt[g].get()
-                    stash.add(t)
+                    if inj is not None:
+                        st = inj.queue_stall(g, "train")
+                        if st > 0.0:
+                            yield Timeout(st)
+                    item = yield queues_lt[g].get()
+                    if type(item) is tuple:
+                        stash[item[1]] = "lost"
+                    else:
+                        stash[item] = "ok"
+
+            def op_worker(g: int, tag) -> str:
+                stage, t = tag[0], tag[1]
+                if stage == "sample":
+                    return f"sampler{t % S}-gpu{g}"
+                if stage == "load":
+                    return f"loader{t % L}-gpu{g}"
+                return f"trainer-gpu{g}"
 
             for g in range(k):
                 if tracer is not None:
@@ -260,14 +509,115 @@ class PipelineRunner:
                     tracer.declare_track(f"trainer-gpu{g}", group=f"gpu{g}",
                                          sort=S + L)
                 for w in range(S):
-                    sim.spawn(sampler(g, w), name=f"sampler{w}-gpu{g}")
+                    name = f"sampler{w}-gpu{g}"
+                    procs[name] = sim.spawn(sampler(g, w), name=name)
                 for w in range(L):
-                    sim.spawn(loader(g, w), name=f"loader{w}-gpu{g}")
-                sim.spawn(trainer(g), name=f"trainer-gpu{g}")
+                    name = f"loader{w}-gpu{g}"
+                    procs[name] = sim.spawn(loader(g, w), name=name)
+                name = f"trainer-gpu{g}"
+                procs[name] = sim.spawn(trainer(g), name=name)
 
-        total = sim.run()
+        try:
+            total = sim.run()
+        except DeadlockError as e:
+            stall = _diagnose_stall(e, procs, queue_producers,
+                                    queue_consumers, gate=gate,
+                                    op_worker=op_worker)
+            if stall is not None:
+                raise stall from None
+            raise
+
+        if inv is not None:
+            share = 1.0 / k
+            expected_bytes: dict = {}
+            for (g, stage, t) in inv.completed:
+                for cost in self.batches[t][stage]:
+                    for link, nbytes in cost.link_bytes().items():
+                        if nbytes:
+                            expected_bytes[link] = (
+                                expected_bytes.get(link, 0.0)
+                                + nbytes * share
+                            )
+            for link, nbytes in skipped_bytes.items():
+                expected_bytes[link] = (
+                    expected_bytes.get(link, 0.0) - nbytes
+                )
+            inv.finalize(
+                expected_bytes=expected_bytes,
+                expected_batches=[
+                    (g, stage, t)
+                    for g in range(k) for stage in STAGES for t in range(B)
+                ],
+            )
+
         occ = float(np.mean([r.occupancy(total) for r in threads]))
         per_busy = tuple(r.busy_fraction(total) for r in threads)
         busy = float(np.mean(per_busy))
-        return PipelineResult(epoch_time=total, utilization=occ,
-                              busy_fraction=busy, per_gpu_busy=per_busy)
+        return PipelineResult(
+            epoch_time=total, utilization=occ,
+            busy_fraction=busy, per_gpu_busy=per_busy,
+            lost_batches=len(lost_triples),
+            degraded_rounds=0 if guard is None else guard.abandoned_rounds,
+            aborted_rounds=0 if guard is None else guard.aborts,
+            invariants=None if inv is None else inv.summary(),
+        )
+
+
+def _diagnose_stall(err: DeadlockError, procs: dict,
+                    queue_producers: dict, queue_consumers: dict,
+                    gate=None, op_worker=None):
+    """Classify a deadlock as a pipeline stall when provable.
+
+    A stall is a wedge that can never clear because the counterparty
+    has already exited:
+
+    - a process blocked putting to (getting from) a bounded queue
+      whose every consumer (producer) is done;
+    - a process waiting at the CCC gate for a tag that can never come:
+      either the tag is unregistered and the *leader* worker that
+      would submit it is done, or the gate's next launch on that GPU
+      belongs to a worker that exited without launching it.
+
+    Returns a :class:`PipelineStall` naming the dead workers, or
+    ``None`` when the deadlock is not of that shape (e.g. the Fig 8
+    collective interleaving, which must keep raising plain
+    :class:`DeadlockError`).
+    """
+    stalled = []
+    dead: set = set()
+    for name, waiting in err.waiting.items():
+        if waiting.startswith("put("):
+            counterparts = queue_consumers.get(waiting[4:-1], ())
+        elif waiting.startswith("get("):
+            counterparts = queue_producers.get(waiting[4:-1], ())
+        else:
+            continue
+        exited = [c for c in counterparts if c in procs and procs[c].done]
+        if counterparts and len(exited) == len(counterparts):
+            stalled.append(f"{name} blocked on {waiting}")
+            dead.update(exited)
+    if gate is not None and op_worker is not None:
+        for g, waiters in enumerate(gate._waiters):
+            for proc, tag in waiters:
+                if gate._position.get(tag) is None:
+                    # unregistered: only the leader's worker for this
+                    # op could submit it to the order
+                    owner = op_worker(gate.leader, tag)
+                elif gate._next[g] < len(gate.order):
+                    # registered but this GPU's launch cursor is stuck
+                    # on an earlier tag someone exited without firing
+                    owner = op_worker(g, gate.order[gate._next[g]])
+                else:  # pragma: no cover - waiter implies pending tags
+                    continue
+                p = procs.get(owner)
+                if p is not None and p.done:
+                    stalled.append(f"{proc.name} blocked on ccc {tag}")
+                    dead.add(owner)
+    if not stalled:
+        return None
+    return PipelineStall(
+        "pipeline stalled: " + "; ".join(sorted(stalled))
+        + " — exited worker(s): " + ", ".join(sorted(dead)),
+        waiting=err.waiting,
+        dead=tuple(sorted(dead)),
+    )

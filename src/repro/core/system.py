@@ -185,7 +185,7 @@ class TrainingSystem:
 
     def run_epoch(
         self, max_batches: int | None = None, functional: bool = True,
-        tracer=None,
+        tracer=None, chaos=None,
     ) -> EpochMetrics:
         """One epoch: functional training + cost accounting.
 
@@ -201,6 +201,12 @@ class TrainingSystem:
         replay (see ``docs/observability.md``).  The trace covers the
         measured batches only, i.e. the epoch before the ``max_batches``
         extrapolation and the per-batch allocator overhead are applied.
+
+        ``chaos`` (a :class:`repro.chaos.ChaosRuntime`, duck-typed via
+        its ``pipeline_kwargs()``) injects faults into the pipeline
+        replay and audits it with the invariant checker; the replayed
+        :class:`~repro.core.pipeline.PipelineResult` (with its chaos
+        accounting) is kept on ``self.last_pipeline_result``.
         """
         if max_batches is not None and max_batches < 1:
             raise ConfigError("max_batches must be >= 1")
@@ -245,6 +251,7 @@ class TrainingSystem:
         overhead = self._batch_overhead() * len(measured)
         scale_up = len(batches) / len(measured)
         info = batch_info if tracer is not None else None
+        chaos_kwargs = {} if chaos is None else chaos.pipeline_kwargs()
         if self.pipelined:
             result = PipelineRunner(
                 self.cluster,
@@ -255,16 +262,19 @@ class TrainingSystem:
                 loader_workers=self.config.loader_workers,
                 tracer=tracer,
                 batch_info=info,
+                **chaos_kwargs,
             ).run()
-            epoch_time = (result.epoch_time + overhead) * scale_up
-            utilization = result.utilization
         else:
-            seq = PipelineRunner(
+            result = PipelineRunner(
                 self.cluster, stage_costs, sequential=True,
                 tracer=tracer, batch_info=info,
+                **chaos_kwargs,
             ).run()
-            epoch_time = (seq.epoch_time + overhead) * scale_up
-            utilization = seq.utilization
+        #: the replayed pipeline outcome of the latest epoch, including
+        #: chaos accounting (lost batches, degraded rounds, invariants)
+        self.last_pipeline_result = result
+        epoch_time = (result.epoch_time + overhead) * scale_up
+        utilization = result.utilization
 
         val_acc = float("nan")
         if functional:

@@ -16,7 +16,13 @@ resource utilization accounting and the CCC launch gate.
 
 from repro.engine.simulator import Simulator, Timeout, Process
 from repro.engine.resources import Resource, BoundedQueue, Rendezvous
-from repro.engine.coordination import LaunchGate
+from repro.engine.coordination import (
+    ROUND_ABANDONED,
+    ROUND_ABORTED,
+    ROUND_OK,
+    CollectiveGuard,
+    LaunchGate,
+)
 
 __all__ = [
     "Simulator",
@@ -26,4 +32,8 @@ __all__ = [
     "BoundedQueue",
     "Rendezvous",
     "LaunchGate",
+    "CollectiveGuard",
+    "ROUND_OK",
+    "ROUND_ABORTED",
+    "ROUND_ABANDONED",
 ]

@@ -28,8 +28,13 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Any
 
-from repro.engine.simulator import Process, Simulator
+from repro.engine.simulator import Process, Simulator, Timeout
 from repro.utils.errors import ReproError
+
+#: outcomes of a guarded collective round (see :class:`CollectiveGuard`)
+ROUND_OK = "ok"
+ROUND_ABORTED = "aborted"
+ROUND_ABANDONED = "abandoned"
 
 
 class LaunchGate:
@@ -61,6 +66,8 @@ class LaunchGate:
         if pos is None or pos != self._next[gpu]:
             raise ReproError(f"gpu {gpu} launched {tag!r} out of turn")
         self._next[gpu] += 1
+        if self.sim.invariants is not None:
+            self.sim.invariants.on_launch(gpu, tag, pos)
         if self.sim.tracer is not None:
             self.sim.tracer.instant(
                 "ccc-gate", f"launched:{tag}", self.sim.now,
@@ -112,4 +119,146 @@ class _WaitTurn:
             return True
         proc.waiting_on = f"ccc({self.gpu}, {self.tag})"
         g._waiters[self.gpu].append((proc, self.tag))
+        return False
+
+
+class CollectiveGuard:
+    """Watchdog over collective rendezvous rounds.
+
+    A plain :class:`~repro.engine.resources.Rendezvous` waits forever:
+    one hung participant (an injected ``collective-drop``, a crashed
+    trainer) deadlocks every peer of the round.  The guard is the
+    response side: rounds are keyed ``(tag, attempt)``, the first
+    arrival of an attempt arms a timer, and if the round has not
+    completed when the timer fires the attempt is *aborted* — all
+    waiters resume with :data:`ROUND_ABORTED`, back off
+    ``backoff * attempt`` and re-form the round at the next attempt.
+    Late arrivals to an aborted attempt are answered synchronously so
+    they fast-forward to the live attempt.  After ``max_retries``
+    aborts the round is *abandoned*: everyone (including eventual late
+    arrivals) gets :data:`ROUND_ABANDONED` and proceeds degraded —
+    callers charge the round's duration but skip its wire bytes.
+    Every abort/abandon is a tracer instant, so watchdog activity is
+    visible on the timeline.
+
+    Workers use it via ``yield from``::
+
+        outcome = yield from guard.join(tag, k)
+        # outcome is ROUND_OK or ROUND_ABANDONED; never hangs forever
+    """
+
+    def __init__(self, sim: Simulator, timeout: float,
+                 max_retries: int = 3, backoff: float | None = None,
+                 name: str = "collective-guard"):
+        if timeout <= 0:
+            raise ReproError("guard timeout must be positive")
+        if max_retries < 0:
+            raise ReproError("max_retries must be >= 0")
+        self.sim = sim
+        self.timeout = timeout
+        self.max_retries = max_retries
+        self.backoff = 0.25 * timeout if backoff is None else backoff
+        self.name = name
+        self._pending: dict[tuple, list[Process]] = {}
+        self._aborted: set[tuple] = set()
+        self._abandoned: set = set()
+        self._next_attempt: dict = {}
+        # counters for the resilience report
+        self.rounds = 0
+        self.aborts = 0
+        self.retries = 0
+        self.abandoned_rounds = 0
+
+    def join(self, tag: Any, n_expected: int):
+        """Generator: rendezvous on ``tag`` under watchdog protection."""
+        if n_expected <= 0:
+            raise ReproError("n_expected must be positive")
+        attempt = self._next_attempt.get(tag, 0)
+        while True:
+            if tag in self._abandoned:
+                return ROUND_ABANDONED
+            if (tag, attempt) in self._aborted:
+                attempt += 1  # fast-forward through dead attempts
+                continue
+            outcome = yield _GuardArrive(self, tag, attempt, n_expected)
+            if outcome != ROUND_ABORTED:
+                return outcome
+            self.retries += 1
+            attempt = max(attempt + 1, self._next_attempt.get(tag, 0))
+            if self.backoff > 0:
+                yield Timeout(self.backoff * attempt)
+
+    # -- internals -------------------------------------------------------
+    def _abort(self, key: tuple) -> None:
+        waiting = self._pending.pop(key, None)
+        if waiting is None:
+            return  # the round completed before the timer fired
+        tag, attempt = key
+        self._aborted.add(key)
+        self._next_attempt[tag] = attempt + 1
+        self.aborts += 1
+        abandoned = attempt + 1 > self.max_retries
+        if abandoned:
+            self._abandoned.add(tag)
+            self.abandoned_rounds += 1
+        outcome = ROUND_ABANDONED if abandoned else ROUND_ABORTED
+        if self.sim.tracer is not None:
+            verb = "abandon" if abandoned else "abort"
+            self.sim.tracer.instant(
+                self.name, f"{verb}:{tag}", self.sim.now,
+                cat="ccc", attempt=attempt, arrived=len(waiting),
+            )
+        for p in waiting:
+            self.sim.resume(p, outcome)
+
+
+class _AbortTimer:
+    """Scheduled callback that aborts a guarded attempt on expiry."""
+
+    __slots__ = ("guard", "key")
+
+    def __init__(self, guard: CollectiveGuard, key: tuple):
+        self.guard = guard
+        self.key = key
+
+    def __call__(self) -> None:
+        self.guard._abort(self.key)
+
+
+@dataclass
+class _GuardArrive:
+    guard: CollectiveGuard
+    tag: Any
+    attempt: int
+    n_expected: int
+    result: Any = None
+
+    def __sim_request__(self, sim: Simulator, proc: Process) -> bool:
+        g = self.guard
+        if self.tag in g._abandoned:
+            self.result = ROUND_ABANDONED
+            return True
+        key = (self.tag, self.attempt)
+        if key in g._aborted:
+            self.result = ROUND_ABORTED
+            return True
+        waiting = g._pending.setdefault(key, [])
+        if len(waiting) + 1 == self.n_expected:
+            del g._pending[key]
+            for p in waiting:
+                sim.resume(p, ROUND_OK)
+            g.rounds += 1
+            if sim.tracer is not None:
+                sim.tracer.instant(
+                    g.name, f"complete:{self.tag}", sim.now,
+                    cat="ccc", attempt=self.attempt,
+                    parties=self.n_expected,
+                )
+            self.result = ROUND_OK
+            return True
+        if not waiting:
+            # first arrival of this attempt arms the watchdog
+            sim.schedule(g.timeout, _AbortTimer(g, key))
+        waiting.append(proc)
+        proc.waiting_on = f"guarded({g.name}, {self.tag}#{self.attempt})"
         return False

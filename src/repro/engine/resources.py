@@ -157,6 +157,10 @@ class BoundedQueue:
             self.sim.resume(getter, item)
         else:
             self.items.append(item)
+        if self.sim.invariants is not None:
+            self.sim.invariants.on_queue_push(
+                self.name, len(self.items), self.capacity
+            )
         if self.sim.tracer is not None:
             self._trace_depth()
 

@@ -83,6 +83,9 @@ class Simulator:
         #: optional :class:`repro.obs.Tracer`; when None (the default)
         #: no trace event is ever allocated (every hook is guarded)
         self.tracer = tracer
+        #: optional :class:`repro.chaos.InvariantChecker`; when None
+        #: (the default) no invariant hook runs anywhere in the engine
+        self.invariants = None
 
     # ------------------------------------------------------------------
     # scheduling
@@ -171,6 +174,7 @@ class Simulator:
         process is still blocked.
         """
         step = self._step
+        inv = self.invariants
         while self._heap:
             t = self._heap[0][0]
             if until is not None and t > until:
@@ -178,6 +182,8 @@ class Simulator:
                 return self.now
             _, _, target, value = heapq.heappop(self._heap)
             self.now = t
+            if inv is not None:
+                inv.on_event_time(t)
             if type(target) is Process:
                 step(target, value)
             else:

@@ -187,9 +187,25 @@ def _perf_bench(spec: RunSpec):
     )
 
 
+def _chaos_scenario(spec: RunSpec):
+    """One (system, scenario) resilience cell -> its result dict.
+
+    Always builds fresh systems inside :func:`run_scenario` (both the
+    baseline and the chaos pass mutate RNG state), so the cell is a
+    pure function of its spec — bit-identical across worker counts.
+    """
+    from repro.chaos.scenarios import run_scenario
+
+    p = spec.payload
+    return run_scenario(
+        p["system"], p["scenario"], p["config"], **p.get("options", {})
+    )
+
+
 register_handler("serve_point", _serve_point)
 register_handler("epoch", _epoch)
 register_handler("perf_bench", _perf_bench)
+register_handler("chaos_scenario", _chaos_scenario)
 
 
 # ----------------------------------------------------------------------

@@ -48,6 +48,7 @@ from repro.engine.simulator import Timeout
 from repro.nn import Tensor
 from repro.sampling.ops import LocalKernel, OpTrace
 from repro.serve.batcher import AdmissionBatcher, BatcherConfig
+from repro.serve.degrade import degraded_loader
 from repro.serve.stats import RequestRecord, ServeReport, build_report
 from repro.serve.workload import Request
 from repro.utils.errors import ConfigError
@@ -70,6 +71,10 @@ class ServeConfig:
     comm_channels: int = 2
     #: run the real numpy forward pass and record predictions
     functional: bool = False
+    #: audit the run with a :class:`repro.chaos.InvariantChecker`
+    #: (attached by :func:`repro.serve.sweep.serve_once`; auditing
+    #: never changes the report, it only raises on a broken simulation)
+    check_invariants: bool = False
 
     def __post_init__(self) -> None:
         if self.slo_s <= 0:
@@ -91,7 +96,7 @@ class _Batch:
     """One dynamic batch moving through the serving pipeline."""
 
     __slots__ = ("bid", "gpu", "requests", "seeds", "close", "start",
-                 "samples", "feats", "stages")
+                 "samples", "feats", "stages", "degraded")
 
     def __init__(self, bid: int, gpu: int, requests: list[Request],
                  seeds: np.ndarray, close: float):
@@ -104,16 +109,22 @@ class _Batch:
         self.samples = None
         self.feats = None
         self.stages: dict = {}
+        self.degraded = False  # served via a failover path
 
 
 class GNNServer:
     """Serve an open-loop request stream on a built training system."""
 
     def __init__(self, system, config: ServeConfig | None = None,
-                 tracer=None):
+                 tracer=None, injector=None, invariants=None):
         self.system = system
         self.config = config if config is not None else ServeConfig()
         self.tracer = tracer
+        #: optional :class:`repro.chaos.FaultInjector` (straggler /
+        #: link faults and lost cache peers perturb the serve replay)
+        self.injector = injector
+        #: optional :class:`repro.chaos.InvariantChecker`
+        self.invariants = invariants
         self.k = system.k
         numbering = getattr(system, "numbering", None)
         self._old_to_new = None if numbering is None else numbering.old_to_new
@@ -141,7 +152,14 @@ class GNNServer:
         system, cfg, k = self.system, self.config, self.k
         sim = Simulator(tracer=self.tracer)
         tracer = self.tracer
+        inj = self.injector
+        if self.invariants is not None:
+            sim.invariants = self.invariants
+        if inj is not None:
+            inj.install(sim)
         plan_cache = getattr(system.loader, "plan_cache", None)
+        # failover loaders per lost-peer set, built lazily on first use
+        failover_loaders: dict = {}
 
         threads = [
             Resource(sim, system.cluster.gpu.total_threads,
@@ -176,14 +194,23 @@ class GNNServer:
 
         def run_op(g: int, cost, stage: str, bid: int, track: str):
             t0 = sim.now
+            dur = float(cost.stage)
+            if inj is not None:
+                if any(cost.link_bytes().values()):
+                    bw = inj.blackout_wait(cost)
+                    if bw > 0.0:
+                        yield Timeout(bw)
+                    dur *= inj.comm_scale(g, cost)
+                elif not cost.host:
+                    dur *= inj.compute_scale(g)
             if cost.host:
-                yield Timeout(float(cost.stage))
+                yield Timeout(dur)
             else:
                 footprint = min(cost.threads, threads[g].capacity)
                 if cost.collective:
                     yield channels[g].acquire(1)
                 yield threads[g].acquire(footprint)
-                yield Timeout(float(cost.stage))
+                yield Timeout(dur)
                 threads[g].release(footprint)
                 if cost.collective:
                     channels[g].release(1)
@@ -247,9 +274,26 @@ class GNNServer:
                     yield computeq[g].put(None)
                     return
                 t0 = sim.now
-                feats, trace, _stats = system._load(
-                    [s.all_nodes for s in batch.samples]
-                )
+                reqs = [s.all_nodes for s in batch.samples]
+                failover = None
+                if inj is not None:
+                    lost = inj.lost_peers()
+                    if lost:
+                        if lost not in failover_loaders:
+                            failover_loaders[lost] = degraded_loader(
+                                system, lost)
+                        failover = failover_loaders[lost]
+                if failover is not None:
+                    # lost cache peer: serve the batch over the UVA
+                    # cold path instead of the dead shard
+                    feats, trace, _stats = failover.load(reqs)
+                    batch.degraded = True
+                    if tracer is not None:
+                        tracer.instant(track, "degraded-load", sim.now,
+                                       cat="chaos", batch=batch.bid,
+                                       lost=sorted(lost))
+                else:
+                    feats, trace, _stats = system._load(reqs)
                 for cost in system.engine.trace_cost(trace):
                     yield from run_op(g, cost, "load", batch.bid, track)
                 if tracer is not None and plan_cache is not None:
@@ -284,6 +328,7 @@ class GNNServer:
                 for i, r in enumerate(batch.requests):
                     rec = records[r.rid]
                     rec.done = sim.now
+                    rec.degraded = batch.degraded
                     rec.stages = {
                         "queue": rec.close - rec.arrival,
                         "batch": batch.start - rec.close,

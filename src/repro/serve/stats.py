@@ -41,6 +41,7 @@ class RequestRecord:
     done: float = float("nan")  # compute finished
     stages: dict = field(default_factory=dict)  # stage -> seconds
     prediction: int | None = None  # functional runs only
+    degraded: bool = False  # served via a degraded path (chaos failover)
 
     @property
     def latency(self) -> float:
@@ -71,9 +72,10 @@ class ServeReport:
     mean_batch_size: float
     num_batches: int
     accuracy: float = float("nan")  # functional runs with labels only
+    degraded: int = 0  # completions served via a degraded path
 
     def to_dict(self) -> dict:
-        return {
+        out = {
             "system": self.system,
             "offered_qps": self.offered_qps,
             "slo_ms": self.slo_s * 1e3,
@@ -99,6 +101,11 @@ class ServeReport:
             "num_batches": self.num_batches,
             "accuracy": scrub_nan(self.accuracy),
         }
+        # emitted only when degradation happened, so fault-free report
+        # JSON stays byte-identical to pre-chaos outputs
+        if self.degraded:
+            out["degraded"] = self.degraded
+        return out
 
 
 def build_report(
@@ -156,4 +163,5 @@ def build_report(
         mean_batch_size=batch_sizes,
         num_batches=num_batches,
         accuracy=accuracy,
+        degraded=sum(1 for r in done if r.degraded),
     )

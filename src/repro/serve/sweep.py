@@ -46,10 +46,24 @@ def serve_once(
     tracer=None,
 ) -> ServeReport:
     """Serve ``workload`` at one offered QPS; sampler RNGs are reset
-    first so points of a sweep are independent and reproducible."""
+    first so points of a sweep are independent and reproducible.
+
+    With ``config.check_invariants`` the run is audited by an
+    :class:`~repro.chaos.InvariantChecker` (strict: a broken simulation
+    raises instead of producing a subtly wrong report); the report
+    itself is bit-identical with the checker on or off.
+    """
     _reseed_sampler(system)
-    server = GNNServer(system, config, tracer=tracer)
-    return server.run(workload.requests(qps), offered_qps=qps)
+    invariants = None
+    if config is not None and config.check_invariants:
+        from repro.chaos.invariants import InvariantChecker
+
+        invariants = InvariantChecker()
+    server = GNNServer(system, config, tracer=tracer, invariants=invariants)
+    report = server.run(workload.requests(qps), offered_qps=qps)
+    if invariants is not None:
+        invariants.finalize()
+    return report
 
 
 def qps_sweep(

@@ -5,7 +5,9 @@ from repro.utils.errors import (
     ConfigError,
     CapacityError,
     DeadlockError,
+    InvariantViolation,
     PartitionError,
+    PipelineStall,
     WorkerError,
 )
 from repro.utils.units import KB, MB, GB, Bytes, fmt_bytes, fmt_time
@@ -16,7 +18,9 @@ __all__ = [
     "ConfigError",
     "CapacityError",
     "DeadlockError",
+    "InvariantViolation",
     "PartitionError",
+    "PipelineStall",
     "WorkerError",
     "KB",
     "MB",

@@ -31,6 +31,40 @@ class DeadlockError(ReproError):
         self.waiting = dict(waiting or {})
 
 
+class PipelineStall(DeadlockError):
+    """The pipeline wedged on a bounded queue whose other side is gone.
+
+    Raised instead of a bare :class:`DeadlockError` when the engine can
+    prove the wedge is a *stall* — a producer blocked on a full queue
+    whose consumer has exited (or a consumer starved by dead
+    producers) — so the failure is diagnosable: the message names the
+    dead worker(s), the queue, and every process blocked on it.
+    Subclasses :class:`DeadlockError` so existing handlers still catch
+    it.
+    """
+
+    def __init__(self, message: str, waiting: dict | None = None,
+                 dead: tuple = ()):
+        super().__init__(message, waiting)
+        #: names of the exited workers the blocked processes depend on
+        self.dead = tuple(dead)
+
+
+class InvariantViolation(ReproError):
+    """A simulation invariant was broken (see ``repro.chaos.invariants``).
+
+    Raised by the :class:`~repro.chaos.invariants.InvariantChecker`
+    the moment a check fails: non-monotone clock, queue over capacity,
+    out-of-order CCC launch, link-byte non-conservation, or a batch
+    lost without an accounted cause.
+    """
+
+    def __init__(self, message: str, invariant: str = ""):
+        super().__init__(message)
+        #: short name of the violated invariant (e.g. ``"queue-bound"``)
+        self.invariant = invariant
+
+
 class PartitionError(ReproError):
     """Graph partitioning failed or produced an invalid partition."""
 

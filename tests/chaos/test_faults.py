@@ -1,0 +1,159 @@
+"""Tests for the fault model: events, windows, plans, serialization."""
+
+import pytest
+
+from repro.chaos.faults import (
+    EVENT_KINDS,
+    FaultPlan,
+    CachePeerLoss,
+    CollectiveDelay,
+    CollectiveDrop,
+    GpuStraggler,
+    LinkDegrade,
+    LinkFlap,
+    QueueStall,
+    WorkerCrash,
+)
+from repro.utils.errors import ConfigError
+
+
+class TestFaultEvents:
+    def test_half_open_window(self):
+        ev = GpuStraggler(1.0, gpu=0, duration=2.0, slowdown=3.0)
+        assert not ev.active(0.999)
+        assert ev.active(1.0)  # start inclusive
+        assert ev.active(2.999)
+        assert not ev.active(3.0)  # end exclusive
+        assert ev.end == pytest.approx(3.0)
+
+    def test_permanent_event_never_ends(self):
+        ev = CachePeerLoss(0.5, gpu=1)
+        assert ev.end == float("inf")
+        assert ev.active(0.5)
+        assert ev.active(1e12)
+        assert not ev.active(0.4)
+
+    def test_worker_crash_is_permanent(self):
+        assert WorkerCrash(2.0, gpu=0, stage="train").end == float("inf")
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ConfigError):
+            GpuStraggler(-0.1)
+
+    def test_nonpositive_duration_rejected(self):
+        with pytest.raises(ConfigError):
+            GpuStraggler(0.0, duration=0.0)
+        with pytest.raises(ConfigError):
+            LinkDegrade(0.0, duration=-1.0)
+
+    def test_slowdown_factor_bounds(self):
+        with pytest.raises(ConfigError):
+            GpuStraggler(0.0, slowdown=0.5)
+        with pytest.raises(ConfigError):
+            LinkDegrade(0.0, factor=0.9)
+        with pytest.raises(ConfigError):
+            CollectiveDelay(0.0, delay=-0.1)
+
+    def test_unknown_link_rejected(self):
+        with pytest.raises(ConfigError):
+            LinkDegrade(0.0, link="infiniband-over-carrier-pigeon")
+        with pytest.raises(ConfigError):
+            LinkFlap(0.0, link="bogus")
+
+    def test_unknown_stage_rejected(self):
+        with pytest.raises(ConfigError):
+            WorkerCrash(0.0, stage="profile")
+        with pytest.raises(ConfigError):
+            QueueStall(0.0, stage="nope")
+
+    def test_registry_covers_every_kind(self):
+        assert set(EVENT_KINDS) == {
+            "gpu-straggler", "link-degrade", "link-flap", "cache-peer-loss",
+            "worker-crash", "queue-stall", "collective-delay",
+            "collective-drop",
+        }
+        for kind, cls in EVENT_KINDS.items():
+            assert cls.KIND == kind
+
+
+class TestFaultPlan:
+    def test_events_normalized_to_canonical_order(self):
+        a = GpuStraggler(0.5, gpu=0)
+        b = LinkDegrade(0.1, link="pcie")
+        c = WorkerCrash(0.1, gpu=1, stage="load")
+        p1 = FaultPlan((a, b, c))
+        p2 = FaultPlan((c, a, b))
+        assert p1 == p2
+        assert p1.events == p2.events
+        assert [ev.start for ev in p1.events] == sorted(
+            ev.start for ev in (a, b, c)
+        )
+
+    def test_non_event_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultPlan(("not-a-fault",))
+
+    def test_fault_free_and_counts(self):
+        assert FaultPlan().fault_free
+        assert len(FaultPlan()) == 0
+        plan = FaultPlan((GpuStraggler(0.0), GpuStraggler(1.0),
+                          CollectiveDrop(0.0)))
+        assert not plan.fault_free
+        assert plan.kind_counts() == {"gpu-straggler": 2,
+                                      "collective-drop": 1}
+        assert len(plan.of_kind("gpu-straggler")) == 2
+        assert plan.of_kind("link-flap") == ()
+
+    def test_json_round_trip(self):
+        plan = FaultPlan(
+            (
+                GpuStraggler(0.25, gpu=1, duration=0.5, slowdown=2.5),
+                LinkFlap(0.1, link="nvlink", duration=0.05),
+                CachePeerLoss(0.0, gpu=2),
+                QueueStall(0.3, gpu=0, stage="load", duration=0.2),
+                CollectiveDrop(0.4, gpu=3, duration=0.1),
+            ),
+            seed=17,
+        )
+        data = plan.to_dict()
+        back = FaultPlan.from_dict(data)
+        assert back == plan
+        assert back.to_dict() == data
+        # the dict is JSON-safe
+        import json
+
+        assert FaultPlan.from_dict(json.loads(json.dumps(data))) == plan
+
+    def test_unknown_kind_in_dict_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultPlan.from_dict({"events": [{"kind": "solar-flare",
+                                            "start": 0.0}]})
+
+
+class TestRandomPlans:
+    def test_pure_function_of_arguments(self):
+        p1 = FaultPlan.random(seed=7, num_gpus=4, horizon=1.0)
+        p2 = FaultPlan.random(seed=7, num_gpus=4, horizon=1.0)
+        assert p1 == p2
+        assert p1.seed == 7
+
+    def test_different_seeds_differ(self):
+        plans = {FaultPlan.random(seed=s, num_gpus=4, horizon=1.0).events
+                 for s in range(20)}
+        assert len(plans) > 1
+
+    def test_events_bounded_by_horizon(self):
+        for seed in range(30):
+            plan = FaultPlan.random(seed=seed, num_gpus=2, horizon=2.0,
+                                    max_events=6)
+            assert len(plan) <= 6
+            for ev in plan.events:
+                assert 0.0 <= ev.start <= 2.0
+                if ev.end != float("inf"):
+                    assert ev.end <= 2 * 2.0 + 2.0  # start + duration bound
+
+    def test_bad_arguments_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultPlan.random(seed=0, num_gpus=0, horizon=1.0)
+        with pytest.raises(ConfigError):
+            FaultPlan.random(seed=0, num_gpus=2, horizon=0.0)

@@ -1,0 +1,167 @@
+"""Tests for the query-based fault injector.
+
+Every injector answer must be a pure function of ``(plan, sim.now)``;
+the tests drive ``sim.now`` by hand and assert the answers directly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.chaos.faults import (
+    CachePeerLoss,
+    CollectiveDelay,
+    CollectiveDrop,
+    FaultPlan,
+    GpuStraggler,
+    LinkDegrade,
+    LinkFlap,
+    QueueStall,
+    WorkerCrash,
+)
+from repro.chaos.injector import FaultInjector
+from repro.engine import Simulator
+
+
+def _cost(nvlink=0.0, pcie=0.0, network=0.0):
+    from repro.core.cost import OpCost
+
+    return OpCost(label="op", per_gpu=np.zeros(2), stage=0.1, threads=128,
+                  collective=True, nvlink_bytes=nvlink, pcie_bytes=pcie,
+                  network_bytes=network)
+
+
+def _injector(*events):
+    sim = Simulator()
+    inj = FaultInjector(FaultPlan(tuple(events))).install(sim)
+    return sim, inj
+
+
+class TestComputeScale:
+    def test_unbound_injector_uses_time_zero(self):
+        inj = FaultInjector(FaultPlan((GpuStraggler(0.0, gpu=0,
+                                                    slowdown=3.0),)))
+        assert inj.sim is None
+        assert inj.compute_scale(0) == pytest.approx(3.0)
+
+    def test_active_window_only(self):
+        sim, inj = _injector(GpuStraggler(1.0, gpu=0, duration=1.0,
+                                          slowdown=4.0))
+        assert inj.compute_scale(0) == 1.0
+        sim.now = 1.5
+        assert inj.compute_scale(0) == pytest.approx(4.0)
+        assert inj.compute_scale(1) == 1.0  # other GPUs unaffected
+        sim.now = 2.0
+        assert inj.compute_scale(0) == 1.0
+
+    def test_overlapping_stragglers_multiply(self):
+        sim, inj = _injector(
+            GpuStraggler(0.0, gpu=0, duration=2.0, slowdown=2.0),
+            GpuStraggler(0.0, gpu=0, duration=2.0, slowdown=3.0),
+        )
+        sim.now = 1.0
+        assert inj.compute_scale(0) == pytest.approx(6.0)
+
+
+class TestCommScale:
+    def test_degrade_applies_only_to_touched_links(self):
+        sim, inj = _injector(LinkDegrade(0.0, link="nvlink", duration=1.0,
+                                         factor=5.0))
+        sim.now = 0.5
+        assert inj.comm_scale(0, _cost(nvlink=1e6)) == pytest.approx(5.0)
+        assert inj.comm_scale(0, _cost(pcie=1e6)) == 1.0
+        assert inj.comm_scale(0, _cost()) == 1.0  # moves no bytes at all
+
+    def test_max_combines_with_straggler(self):
+        sim, inj = _injector(
+            GpuStraggler(0.0, gpu=0, duration=1.0, slowdown=8.0),
+            LinkDegrade(0.0, link="pcie", duration=1.0, factor=3.0),
+        )
+        sim.now = 0.5
+        # the straggler dominates on gpu 0; the degrade on gpu 1
+        assert inj.comm_scale(0, _cost(pcie=1e6)) == pytest.approx(8.0)
+        assert inj.comm_scale(1, _cost(pcie=1e6)) == pytest.approx(3.0)
+
+
+class TestBlackout:
+    def test_wait_is_remaining_flap_window(self):
+        sim, inj = _injector(LinkFlap(1.0, link="nvlink", duration=0.5))
+        assert inj.blackout_wait(_cost(nvlink=1e6)) == 0.0  # before window
+        sim.now = 1.2
+        assert inj.blackout_wait(_cost(nvlink=1e6)) == pytest.approx(0.3)
+        assert inj.blackout_wait(_cost(pcie=1e6)) == 0.0  # wrong link
+        sim.now = 1.5
+        assert inj.blackout_wait(_cost(nvlink=1e6)) == 0.0  # window over
+
+    def test_longest_flap_wins(self):
+        sim, inj = _injector(
+            LinkFlap(0.0, link="nvlink", duration=0.2),
+            LinkFlap(0.0, link="pcie", duration=0.6),
+        )
+        sim.now = 0.1
+        assert inj.blackout_wait(
+            _cost(nvlink=1e6, pcie=1e6)) == pytest.approx(0.5)
+
+
+class TestWorkerFaults:
+    def test_crash_latches_from_start_time(self):
+        sim, inj = _injector(WorkerCrash(1.0, gpu=1, stage="train"))
+        assert not inj.crashed(1, "train")
+        sim.now = 1.0
+        assert inj.crashed(1, "train")
+        assert not inj.crashed(0, "train")
+        assert not inj.crashed(1, "sample")
+        sim.now = 100.0
+        assert inj.crashed(1, "train")  # crashes are permanent
+
+    def test_earliest_crash_wins(self):
+        sim, inj = _injector(
+            WorkerCrash(2.0, gpu=0, stage="sample"),
+            WorkerCrash(0.5, gpu=0, stage="sample"),
+        )
+        sim.now = 1.0
+        assert inj.crashed(0, "sample")
+
+    def test_queue_stall_returns_remaining_window(self):
+        sim, inj = _injector(QueueStall(1.0, gpu=0, stage="load",
+                                        duration=0.4))
+        assert inj.queue_stall(0, "load") == 0.0
+        sim.now = 1.1
+        assert inj.queue_stall(0, "load") == pytest.approx(0.3)
+        assert inj.queue_stall(0, "train") == 0.0
+        assert inj.queue_stall(1, "load") == 0.0
+
+
+class TestCollectiveFaults:
+    def test_delay_in_window(self):
+        sim, inj = _injector(CollectiveDelay(0.0, gpu=0, duration=1.0,
+                                             delay=0.25))
+        sim.now = 0.5
+        assert inj.collective_delay(0) == pytest.approx(0.25)
+        assert inj.collective_delay(1) == 0.0
+        sim.now = 1.5
+        assert inj.collective_delay(0) == 0.0
+
+    def test_drop_and_remaining_hang(self):
+        sim, inj = _injector(CollectiveDrop(1.0, gpu=1, duration=0.5))
+        assert not inj.collective_dropped(1)
+        sim.now = 1.2
+        assert inj.collective_dropped(1)
+        assert not inj.collective_dropped(0)
+        assert inj.drop_wait(1) == pytest.approx(0.3)
+        assert inj.drop_wait(0) == 0.0
+
+
+class TestCacheAndAccounting:
+    def test_lost_peers_accumulate(self):
+        sim, inj = _injector(CachePeerLoss(0.0, gpu=0),
+                             CachePeerLoss(1.0, gpu=2))
+        assert inj.lost_peers() == frozenset({0})
+        sim.now = 1.0
+        assert inj.lost_peers() == frozenset({0, 2})
+
+    def test_injected_counts_and_has_faults(self):
+        _, inj = _injector(GpuStraggler(0.0), GpuStraggler(0.5),
+                           LinkFlap(0.0))
+        assert inj.injected == {"gpu-straggler": 2, "link-flap": 1}
+        assert inj.has_faults()
+        assert not FaultInjector(FaultPlan()).has_faults()

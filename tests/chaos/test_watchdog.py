@@ -1,0 +1,124 @@
+"""Tests for the CollectiveGuard watchdog: abort, retry, abandon."""
+
+import pytest
+
+from repro.engine import (
+    ROUND_ABANDONED,
+    ROUND_OK,
+    CollectiveGuard,
+    Simulator,
+    Timeout,
+)
+from repro.utils.errors import ReproError
+
+
+def _joiner(guard, tag, n, outcomes, delay=0.0):
+    def gen():
+        if delay:
+            yield Timeout(delay)
+        outcome = yield from guard.join(tag, n)
+        outcomes.append((guard.sim.now, outcome))
+
+    return gen()
+
+
+class TestHappyPath:
+    def test_full_round_completes_ok(self):
+        sim = Simulator()
+        guard = CollectiveGuard(sim, timeout=1.0)
+        outcomes = []
+        for _ in range(3):
+            sim.spawn(_joiner(guard, "t", 3, outcomes))
+        sim.run()
+        assert [o for _, o in outcomes] == [ROUND_OK] * 3
+        assert (guard.rounds, guard.aborts, guard.abandoned_rounds) == (1, 0, 0)
+
+    def test_round_faster_than_timeout_never_aborts(self):
+        sim = Simulator()
+        guard = CollectiveGuard(sim, timeout=10.0)
+        outcomes = []
+        sim.spawn(_joiner(guard, "t", 2, outcomes))
+        sim.spawn(_joiner(guard, "t", 2, outcomes, delay=0.5))
+        t = sim.run()
+        assert all(o == ROUND_OK for _, o in outcomes)
+        assert guard.aborts == 0
+        # the stale timer fires harmlessly at t=10
+        assert t == pytest.approx(10.0)
+
+
+class TestAbortRetry:
+    def test_late_participant_completes_on_retry(self):
+        sim = Simulator()
+        guard = CollectiveGuard(sim, timeout=1.0, backoff=0.25)
+        outcomes = []
+        sim.spawn(_joiner(guard, "t", 2, outcomes))  # on time
+        sim.spawn(_joiner(guard, "t", 2, outcomes, delay=1.5))  # late
+        sim.run()
+        assert [o for _, o in outcomes] == [ROUND_OK] * 2
+        assert guard.rounds == 1
+        assert guard.aborts == 1  # attempt 0 timed out
+        assert guard.retries == 1  # the on-time worker retried
+        assert guard.abandoned_rounds == 0
+
+    def test_never_arriving_participant_abandons(self):
+        sim = Simulator()
+        guard = CollectiveGuard(sim, timeout=1.0, max_retries=1,
+                                backoff=0.25)
+        outcomes = []
+        # 2 of 3 expected participants show up; the third never does
+        sim.spawn(_joiner(guard, "t", 3, outcomes))
+        sim.spawn(_joiner(guard, "t", 3, outcomes))
+        sim.run()  # must terminate: the watchdog breaks the hang
+        assert [o for _, o in outcomes] == [ROUND_ABANDONED] * 2
+        assert guard.rounds == 0
+        assert guard.aborts == 2  # attempts 0 and 1 both timed out
+        assert guard.retries == 2  # both survivors retried once
+        assert guard.abandoned_rounds == 1
+
+    def test_abandonment_is_permanent_for_late_arrivals(self):
+        sim = Simulator()
+        guard = CollectiveGuard(sim, timeout=0.5, max_retries=0)
+        outcomes = []
+        sim.spawn(_joiner(guard, "t", 2, outcomes))
+        sim.run()
+        assert outcomes == [(pytest.approx(0.5), ROUND_ABANDONED)]
+        # a straggler arriving after abandonment is answered synchronously
+        late = []
+        sim.spawn(_joiner(guard, "t", 2, late))
+        sim.run()
+        assert [o for _, o in late] == [ROUND_ABANDONED]
+        assert guard.abandoned_rounds == 1  # not double-counted
+
+    def test_independent_tags_do_not_interfere(self):
+        sim = Simulator()
+        guard = CollectiveGuard(sim, timeout=0.5, max_retries=0)
+        outcomes = []
+        sim.spawn(_joiner(guard, "dead", 2, outcomes))  # peer never comes
+        sim.spawn(_joiner(guard, "live", 2, outcomes))
+        sim.spawn(_joiner(guard, "live", 2, outcomes))
+        sim.run()
+        by_tag = {}
+        for _, o in outcomes:
+            by_tag.setdefault(o, 0)
+            by_tag[o] += 1
+        assert by_tag == {ROUND_OK: 2, ROUND_ABANDONED: 1}
+
+
+class TestValidation:
+    def test_bad_timeout(self):
+        with pytest.raises(ReproError):
+            CollectiveGuard(Simulator(), timeout=0.0)
+
+    def test_bad_max_retries(self):
+        with pytest.raises(ReproError):
+            CollectiveGuard(Simulator(), timeout=1.0, max_retries=-1)
+
+    def test_bad_party_count(self):
+        guard = CollectiveGuard(Simulator(), timeout=1.0)
+        gen = guard.join("t", 0)
+        with pytest.raises(ReproError):
+            next(gen)
+
+    def test_default_backoff_scales_with_timeout(self):
+        guard = CollectiveGuard(Simulator(), timeout=2.0)
+        assert guard.backoff == pytest.approx(0.5)

@@ -146,3 +146,88 @@ class TestValidation:
     def test_missing_stage_rejected(self, cluster):
         with pytest.raises(ConfigError):
             PipelineRunner(cluster, [{"sample": [], "load": []}])
+
+
+class TestChaos:
+    """Fault injection against the pipeline runner itself."""
+
+    @staticmethod
+    def chaos_runner(cluster, b, plan, **kw):
+        from repro.chaos import FaultInjector, FaultPlan, InvariantChecker
+
+        injector = None if plan.fault_free else FaultInjector(plan)
+        return PipelineRunner(cluster, b, injector=injector,
+                              invariants=InvariantChecker(), **kw)
+
+    def test_fault_free_bit_identical_with_invariants(self, cluster):
+        from repro.chaos import FaultPlan
+
+        b = batches(6)
+        plain = PipelineRunner(cluster, b).run()
+        audited = self.chaos_runner(cluster, b, FaultPlan()).run()
+        assert audited.epoch_time == plain.epoch_time  # exact, not approx
+        assert audited.utilization == plain.utilization
+        assert audited.invariants["clean"]
+        assert audited.invariants["checks"] > 0
+        assert audited.lost_batches == 0
+
+    def test_straggler_slows_epoch(self, cluster):
+        from repro.chaos import FaultPlan
+        from repro.chaos.faults import GpuStraggler
+
+        b = batches(6)
+        base = PipelineRunner(cluster, b).run()
+        plan = FaultPlan((GpuStraggler(0.0, gpu=0, duration=1e3,
+                                       slowdown=3.0),))
+        slow = self.chaos_runner(cluster, b, plan).run()
+        assert slow.epoch_time > base.epoch_time * 1.5
+        assert slow.lost_batches == 0
+        assert slow.invariants["clean"]
+
+    def test_dropped_participant_degrades_but_terminates(self, cluster):
+        from repro.chaos import FaultPlan
+        from repro.chaos.faults import CollectiveDrop
+
+        # gpu 1 never rendezvouses: every round must be abandoned by
+        # the watchdog instead of hanging the simulation forever
+        plan = FaultPlan((CollectiveDrop(0.0, gpu=1, duration=1e4),))
+        res = self.chaos_runner(cluster, batches(4), plan,
+                                collective_timeout=2.0).run()
+        assert res.degraded_rounds > 0
+        assert res.aborted_rounds >= res.degraded_rounds
+        assert res.invariants["clean"]  # skipped bytes are accounted
+
+    def test_trainer_crash_raises_diagnosed_stall(self, cluster):
+        from repro.chaos import FaultPlan
+        from repro.chaos.faults import WorkerCrash
+        from repro.utils import PipelineStall
+
+        # the dead trainer stops consuming; producers fill the bounded
+        # queues and wedge — the regression this layer exists for
+        plan = FaultPlan((WorkerCrash(0.0, gpu=0, stage="train"),))
+        with pytest.raises(PipelineStall) as err:
+            self.chaos_runner(cluster, batches(8), plan).run()
+        assert "trainer-gpu0" in err.value.dead
+        assert "trainer-gpu0" in str(err.value)
+
+    def test_sampler_crash_loses_batches_but_completes(self, cluster):
+        from repro.chaos import FaultPlan
+        from repro.chaos.faults import WorkerCrash
+
+        plan = FaultPlan((WorkerCrash(0.0, gpu=0, stage="sample"),))
+        res = self.chaos_runner(cluster, batches(6), plan,
+                                collective_timeout=2.0).run()
+        assert res.lost_batches > 0
+        assert res.invariants["clean"]
+
+    def test_fig8_deadlock_is_not_misdiagnosed_as_stall(self, cluster):
+        """A genuine launch-order deadlock (no dead worker) must stay a
+        bare DeadlockError — PipelineStall means something died."""
+        from repro.utils import PipelineStall
+
+        with pytest.raises(DeadlockError) as err:
+            PipelineRunner(
+                cluster, TestCCC.skewed_batches(6), ccc=False,
+                comm_channels=1,
+            ).run()
+        assert not isinstance(err.value, PipelineStall)

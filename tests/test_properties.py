@@ -210,3 +210,70 @@ class TestAutogradProperties:
         p = np.exp(F.log_softmax(x).data)
         np.testing.assert_allclose(p.sum(axis=1), 1.0, rtol=1e-4)
         assert (p >= 0).all()
+
+
+# ----------------------------------------------------------------------
+# chaos: fault injection never wedges or corrupts the simulation
+# ----------------------------------------------------------------------
+def _chaos_pipeline(plan):
+    """A small synthetic pipeline under ``plan``, fully audited."""
+    from repro.chaos import FaultInjector, InvariantChecker
+    from repro.core.cost import OpCost
+    from repro.core.pipeline import PipelineRunner
+    from repro.hw import Cluster
+
+    k = 2
+    local = OpCost("k", np.full(k, 0.3), 0.3, 1024)
+    coll = OpCost("c", np.full(k, 0.2), 0.2, 128, collective=True,
+                  nvlink_bytes=1e6, pcie_bytes=2e5)
+    b = [{"sample": [coll], "load": [coll], "train": [local]}] * 4
+    injector = None if plan.fault_free else FaultInjector(plan)
+    runner = PipelineRunner(Cluster.dgx1(k), b, injector=injector,
+                            invariants=InvariantChecker())
+    return runner.run()
+
+
+class TestChaosProperties:
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_random_plans_never_deadlock_or_corrupt(self, seed):
+        """Whatever a random plan injects, the simulation terminates —
+        either completing (invariants clean) or with a *diagnosed*
+        PipelineStall; a raw DeadlockError or InvariantViolation is a
+        bug in the fault-response layer."""
+        from repro.chaos import FaultPlan
+        from repro.utils import PipelineStall
+
+        plan = FaultPlan.random(seed=seed, num_gpus=2, horizon=3.0,
+                                max_events=4)
+        try:
+            res = _chaos_pipeline(plan)
+        except PipelineStall as err:
+            assert err.dead  # the stall names who died
+        else:
+            assert res.epoch_time > 0
+            assert res.invariants["clean"]
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_fault_free_plan_is_bit_identical(self, seed):
+        """An empty plan (whatever its seed) leaves the replay untouched."""
+        from repro.chaos import FaultPlan
+
+        baseline = _chaos_pipeline(FaultPlan())
+        audited = _chaos_pipeline(FaultPlan(seed=seed))
+        assert audited.epoch_time == baseline.epoch_time
+        assert audited.utilization == baseline.utilization
+        assert audited.lost_batches == 0
+
+    @given(st.integers(0, 100_000))
+    @settings(max_examples=100)
+    def test_random_plans_round_trip_json(self, seed):
+        import json
+
+        from repro.chaos import FaultPlan
+
+        plan = FaultPlan.random(seed=seed, num_gpus=4, horizon=1.0,
+                                max_events=6)
+        data = json.loads(json.dumps(plan.to_dict()))
+        assert FaultPlan.from_dict(data) == plan
