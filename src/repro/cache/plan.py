@@ -114,6 +114,16 @@ class PlanCache:
         self._costs.clear()
         self._nbytes = 0
 
+    def reset(self) -> None:
+        """Forget every plan AND zero the counters, returning the cache
+        to its freshly-built state.  Used between serve runs so hit/miss
+        accounting (and the metrics built on it) describes one run only,
+        independent of which process previously used this cache."""
+        self.clear()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
     def stats(self) -> dict:
         """Counters for the obs layer: hits, misses, hit rate, size."""
         total = self.hits + self.misses

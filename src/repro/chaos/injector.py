@@ -44,7 +44,8 @@ class FaultInjector:
 
     # -- lifecycle -------------------------------------------------------
     def install(self, sim) -> "FaultInjector":
-        """Bind to a simulator; emit trace instants at fault boundaries."""
+        """Bind to a simulator; emit trace instants (and metrics
+        events, when a registry is attached) at fault boundaries."""
         self.sim = sim
         tracer = self.tracer if self.tracer is not None else sim.tracer
         if tracer is not None:
@@ -54,6 +55,12 @@ class FaultInjector:
                 if ev.end != float("inf"):
                     tracer.instant("chaos", f"clear:{ev.KIND}", ev.end,
                                    cat="chaos", kind=ev.KIND)
+        metrics = getattr(sim, "metrics", None)
+        if metrics is not None:
+            for ev in self.plan.events:
+                metrics.event(ev.start, f"inject:{ev.KIND}", **ev.to_dict())
+                if ev.end != float("inf"):
+                    metrics.event(ev.end, f"clear:{ev.KIND}", kind=ev.KIND)
         return self
 
     @property

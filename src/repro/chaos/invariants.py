@@ -45,9 +45,12 @@ class InvariantChecker:
     (used by tests that assert a violation *is* detected).
     """
 
-    def __init__(self, strict: bool = True, tracer=None):
+    def __init__(self, strict: bool = True, tracer=None, metrics=None):
         self.strict = strict
         self.tracer = tracer
+        #: optional :class:`repro.metrics.MetricsRegistry` — violations
+        #: land on the metrics timeline as annotated events
+        self.metrics = metrics
         self.violations: list[str] = []
         self.checks = 0
         self._last_time = 0.0
@@ -70,6 +73,9 @@ class InvariantChecker:
             self.tracer.instant("chaos", f"violation:{invariant}",
                                 self._last_time, cat="chaos",
                                 detail=message)
+        if self.metrics is not None:
+            self.metrics.event(self._last_time, f"violation:{invariant}",
+                               detail=message)
         if self.strict:
             raise InvariantViolation(text, invariant=invariant)
 

@@ -161,12 +161,17 @@ def _run_train_scenario(system_name: str, sc: Scenario, config,
     base = baseline_sys.last_pipeline_result
     plan = sc.build(base.epoch_time, config.num_gpus)
 
+    from repro.metrics import MetricsRegistry
+
     system = build_system(system_name, config)
     runtime = ChaosRuntime(plan, chaos_config)
+    # ~20 windows over the fault-free horizon keeps per-window state
+    # bounded however long (or short) the epoch simulates to
+    registry = MetricsRegistry(window_s=max(base.epoch_time / 20.0, 1e-6))
     outcome, dead = "completed", ()
     try:
         system.run_epoch(max_batches=max_batches, functional=False,
-                         chaos=runtime)
+                         chaos=runtime, metrics=registry)
     except PipelineStall as err:
         outcome, dead = "stalled", tuple(sorted(err.dead))
     except InvariantViolation:
@@ -188,6 +193,9 @@ def _run_train_scenario(system_name: str, sc: Scenario, config,
         "lost_batches": None if res is None else res.lost_batches,
         "degraded_rounds": None if res is None else res.degraded_rounds,
         "aborted_rounds": None if res is None else res.aborted_rounds,
+        # fault activations / clearances / invariant violations that
+        # landed on the chaos pass's metrics timeline
+        "fault_events": len(registry.events),
         "invariants": _inv_summary(runtime.invariants),
         "baseline_invariants": _inv_summary(base_chaos.invariants),
     }
@@ -198,20 +206,29 @@ def _run_train_scenario(system_name: str, sc: Scenario, config,
 
 def _serve_pass(system_name: str, config, serve_cfg, workload, qps: float,
                 cc: ChaosConfig, plan: FaultPlan):
-    """One serving run on a fresh system; returns (report, invariants)."""
+    """One serving run on a fresh system with windowed metrics
+    attached; returns ``(report, invariants, slo_summary, registry)``.
+
+    The SLO window equals the SLO itself, so "SLO minutes violated" is
+    counted over windows as long as the latency bound being enforced.
+    """
     from repro.core import build_system
+    from repro.metrics import MetricsRegistry, SLOMonitor
     from repro.serve.service import GNNServer
 
     system = build_system(system_name, config)
-    inv = (InvariantChecker(strict=cc.strict_invariants)
+    registry = MetricsRegistry(window_s=serve_cfg.slo_s)
+    inv = (InvariantChecker(strict=cc.strict_invariants, metrics=registry)
            if cc.check_invariants else None)
     injector = None if plan.fault_free else FaultInjector(plan)
-    report = GNNServer(system, serve_cfg, injector=injector,
+    report = GNNServer(system, serve_cfg, metrics=registry,
+                       injector=injector,
                        invariants=inv).run(workload.requests(qps),
                                            offered_qps=qps)
     if inv is not None:
         inv.finalize()
-    return report, inv
+    slo = SLOMonitor(registry, serve_cfg.slo_s).summary()
+    return report, inv, slo, registry
 
 
 def _run_serve_scenario(system_name: str, sc: Scenario, config,
@@ -230,14 +247,16 @@ def _run_serve_scenario(system_name: str, sc: Scenario, config,
     workload = make_workload(wl_cfg, np.arange(probe.base_dataset.num_nodes))
     del probe
 
-    base, base_inv = _serve_pass(system_name, config, serve_cfg, workload,
-                                 qps, cc, FaultPlan())
+    base, base_inv, base_slo, _ = _serve_pass(
+        system_name, config, serve_cfg, workload, qps, cc, FaultPlan()
+    )
     plan = sc.build(base.elapsed, config.num_gpus)
     outcome = "completed"
-    report, inv = None, None
+    report, inv, slo, registry = None, None, None, None
     try:
-        report, inv = _serve_pass(system_name, config, serve_cfg, workload,
-                                  qps, cc, plan)
+        report, inv, slo, registry = _serve_pass(
+            system_name, config, serve_cfg, workload, qps, cc, plan
+        )
     except InvariantViolation:
         outcome = "invariant-violation"
     return {
@@ -256,6 +275,14 @@ def _run_serve_scenario(system_name: str, sc: Scenario, config,
         "completed": None if report is None else report.completed,
         "shed": None if report is None else report.shed,
         "p99_ms": None if report is None else report.p99 * 1e3,
+        # windowed SLO health (p50/p95/p99 series + burn rates) of the
+        # chaos pass, and the headline resilience figure of both passes
+        "slo": slo,
+        "slo_minutes_violated": (
+            None if slo is None else slo["slo_minutes_violated"]
+        ),
+        "baseline_slo_minutes_violated": base_slo["slo_minutes_violated"],
+        "fault_events": 0 if registry is None else len(registry.events),
         "invariants": _inv_summary(inv),
         "baseline_invariants": _inv_summary(base_inv),
     }
@@ -330,7 +357,7 @@ def format_report(payload: dict) -> str:
     """Render a resilience report as the ``repro chaos`` text table."""
     lines = [
         f"{'system':<10} {'scenario':<16} {'outcome':<20} {'slowdown':>9} "
-        f"{'lost':>5} {'degr':>5} {'abrt':>5}  detail"
+        f"{'lost':>5} {'degr':>5} {'abrt':>5} {'SLO min':>8}  detail"
     ]
     for system, cells in payload["systems"].items():
         for scenario in payload["scenarios"]:
@@ -341,6 +368,8 @@ def format_report(payload: dict) -> str:
             degr = (r.get("degraded_rounds") if r["mode"] == "train"
                     else r.get("degraded"))
             abrt = r.get("aborted_rounds")
+            slo_min = r.get("slo_minutes_violated")
+            slo_s = "-" if slo_min is None else f"{slo_min:8.4f}"
             detail = ""
             if r.get("dead_workers"):
                 detail = "dead: " + ", ".join(r["dead_workers"])
@@ -351,7 +380,8 @@ def format_report(payload: dict) -> str:
                 f"{slow_s:>9} "
                 f"{'-' if lost is None else lost:>5} "
                 f"{'-' if degr is None else degr:>5} "
-                f"{'-' if abrt is None else abrt:>5}  {detail}"
+                f"{'-' if abrt is None else abrt:>5} "
+                f"{slo_s:>8}  {detail}"
             )
     s = payload["summary"]
     lines.append(

@@ -10,6 +10,7 @@ Commands
 ``trace``    run one traced epoch; write a Chrome trace, print stalls
 ``perf``     wall-clock microbenchmarks -> BENCH_perf.json
 ``chaos``    deterministic fault-injection scenarios -> resilience report
+``report``   merge saved serve/chaos/trace artifacts into one HTML report
 """
 
 from __future__ import annotations
@@ -23,6 +24,12 @@ from repro.core import RunConfig, SYSTEMS, build_system
 from repro.core.metrics import metrics_dict as _metrics_dict, scrub_nan
 from repro.graph import DATASET_SPECS
 from repro.utils import fmt_bytes, fmt_time
+
+
+def _fail(message: str) -> int:
+    """One-line operator-facing error on stderr; exit status 1."""
+    print(f"error: {message}", file=sys.stderr)
+    return 1
 
 
 def _add_workload_args(p: argparse.ArgumentParser) -> None:
@@ -174,8 +181,9 @@ def cmd_serve(args) -> int:
     systems = [s for s in args.systems.split(",") if s]
     workload = None
     payload: dict = {"slo_ms": args.slo_ms, "systems": {}}
+    slo_col = f" {'SLO min':>8}" if args.metrics else ""
     print(f"{'system':<10} {'offered':>10} {'p50':>10} {'p99':>10} "
-          f"{'goodput':>10} {'shed':>6} {'batch':>6}")
+          f"{'goodput':>10} {'shed':>6} {'batch':>6}{slo_col}")
     knees = {}
     for name in systems:
         system = build_system(name, cfg)
@@ -191,12 +199,20 @@ def cmd_serve(args) -> int:
         points = qps_sweep(
             system, workload, qps_values, serve_cfg,
             workers=args.workers, trace_base=trace_base,
+            metrics=args.metrics,
+            metrics_window_s=(
+                args.metrics_window_ms * 1e-3
+                if args.metrics_window_ms is not None else None
+            ),
         )
         for p in points:
             r = p.report
-            print(f"{name:<10} {p.qps:>10.0f} {fmt_time(r.p50):>10} "
-                  f"{fmt_time(r.p99):>10} {r.goodput_qps:>8.0f}/s "
-                  f"{r.shed_rate:>6.1%} {r.mean_batch_size:>6.1f}")
+            line = (f"{name:<10} {p.qps:>10.0f} {fmt_time(r.p50):>10} "
+                    f"{fmt_time(r.p99):>10} {r.goodput_qps:>8.0f}/s "
+                    f"{r.shed_rate:>6.1%} {r.mean_batch_size:>6.1f}")
+            if args.metrics and r.metrics is not None:
+                line += f" {r.metrics['slo']['slo_minutes_violated']:>8.4f}"
+            print(line)
         knees[name] = max_sustainable_qps(points)
         payload["systems"][name] = {
             "points": [p.report.to_dict() for p in points],
@@ -240,13 +256,16 @@ def cmd_trace(args) -> int:
                          tracer=tracer)
     except DeadlockError as err:
         deadlock = err  # the trace up to the deadlock is still valid
-    write_chrome_trace(tracer, args.out)
-    print(f"wrote {args.out} ({len(tracer)} events; load in Perfetto or "
-          "chrome://tracing)")
-    if args.text:
-        with open(args.text, "w") as f:
-            f.write(to_text(tracer))
-        print(f"wrote {args.text}")
+    try:
+        write_chrome_trace(tracer, args.out)
+        print(f"wrote {args.out} ({len(tracer)} events; load in Perfetto "
+              "or chrome://tracing)")
+        if args.text:
+            with open(args.text, "w") as f:
+                f.write(to_text(tracer))
+            print(f"wrote {args.text}")
+    except OSError as err:
+        return _fail(f"cannot write trace: {err}")
 
     total = tracer.end_time()
     print(f"\n{args.system} on {args.dataset}, {args.gpus} GPU(s), "
@@ -346,6 +365,99 @@ def cmd_chaos(args) -> int:
     if args.json or args.out:
         _emit_json(payload, args)
     return 0 if payload["summary"]["invariant_violations"] == 0 else 1
+
+
+def cmd_report(args) -> int:
+    """``repro report``: one self-contained HTML artifact.
+
+    Merges saved run outputs — a ``repro serve --metrics --out`` sweep
+    (or a single :class:`~repro.serve.stats.ServeReport` dict), a
+    ``repro chaos --out`` resilience report, and a Chrome trace from
+    ``repro trace`` — into a single HTML file with windowed SLO/latency
+    timelines, the chaos matrix with its "SLO minutes violated" column,
+    and the stall-breakdown / critical-path text analyses.  Rendering
+    is deterministic: the same inputs produce byte-identical HTML.
+
+    Bad inputs (missing files, corrupt JSON, a file that is not a
+    Chrome trace) exit with a one-line error and status 1.
+    """
+    from repro.metrics import write_report
+    from repro.utils.errors import ConfigError
+
+    def load(path):
+        with open(path) as f:
+            return json.load(f)
+
+    serve_sections: list[dict] = []
+    chaos_payload = None
+    trace_sections: list[tuple[str, str]] = []
+    try:
+        if args.serve:
+            data = load(args.serve)
+            if isinstance(data, dict) and isinstance(
+                    data.get("systems"), dict):
+                # sweep payload: one section per system, preferring the
+                # highest offered load that carries a metrics summary
+                for name, entry in data["systems"].items():
+                    points = [p for p in entry.get("points", ())
+                              if isinstance(p, dict)]
+                    with_metrics = [p for p in points if p.get("metrics")]
+                    serve_sections.extend((with_metrics or points)[-1:])
+            elif isinstance(data, dict):
+                serve_sections.append(data)
+        if args.chaos:
+            chaos_payload = load(args.chaos)
+        if args.trace:
+            from repro.obs import (
+                critical_path,
+                format_breakdown,
+                format_critical_path,
+                format_plan_cache,
+                plan_cache_stats,
+                read_chrome_trace,
+                stall_breakdown,
+            )
+            from repro.obs.analysis import track_gpu
+
+            tracer = read_chrome_trace(args.trace)
+            total = tracer.end_time()
+            gpus = 1 + max(
+                (g for g in (track_gpu(ev.track) for ev in tracer.events)
+                 if g is not None),
+                default=0,
+            )
+            trace_sections.append((
+                "Stall breakdown",
+                format_breakdown(
+                    stall_breakdown(tracer, total, gpus), total
+                ),
+            ))
+            trace_sections.append(
+                ("Critical path", format_critical_path(critical_path(tracer)))
+            )
+            pc = plan_cache_stats(tracer)
+            if pc is not None:
+                trace_sections.append(("Plan cache", format_plan_cache(pc)))
+    except FileNotFoundError as err:
+        return _fail(f"{err.filename}: no such file")
+    except json.JSONDecodeError as err:
+        return _fail(f"corrupt JSON input: {err}")
+    except ConfigError as err:
+        return _fail(str(err))
+    try:
+        write_report(
+            args.out,
+            serve=serve_sections or None,
+            chaos=chaos_payload,
+            trace_sections=trace_sections or None,
+            title=args.title,
+        )
+    except OSError as err:
+        return _fail(f"cannot write report: {err}")
+    print(f"wrote {args.out} ({len(serve_sections)} serve section(s), "
+          f"chaos {'yes' if chaos_payload else 'no'}, "
+          f"{len(trace_sections)} trace section(s))")
+    return 0
 
 
 def _emit_json(payload, args) -> None:
@@ -450,6 +562,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trace-base", metavar="PATH", default=None,
                    help="write one Chrome trace per sweep point, named "
                         "PATH-<system>-qps<Q>.json")
+    p.add_argument("--metrics", action="store_true",
+                   help="attach the windowed metrics registry to every "
+                        "sweep point: adds the SLO-minutes-violated "
+                        "column and a 'metrics' summary per point in "
+                        "the JSON (input for 'repro report')")
+    p.add_argument("--metrics-window-ms", type=float, default=None,
+                   help="metrics window width in ms (default: the SLO)")
     p.add_argument("--json", action="store_true")
     p.add_argument("--out", metavar="PATH",
                    help="write the JSON report to PATH instead of stdout")
@@ -501,6 +620,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", metavar="PATH",
                    help="write the JSON report to PATH instead of stdout")
     p.set_defaults(func=cmd_chaos)
+
+    p = sub.add_parser(
+        "report", help="merge saved serve/chaos/trace artifacts into one "
+                       "self-contained HTML report"
+    )
+    p.add_argument("--serve", metavar="PATH", default=None,
+                   help="JSON from 'repro serve --metrics --out' (or a "
+                        "single serve report dict)")
+    p.add_argument("--chaos", metavar="PATH", default=None,
+                   help="JSON from 'repro chaos --out'")
+    p.add_argument("--trace", metavar="PATH", default=None,
+                   help="Chrome trace from 'repro trace' or --trace-base")
+    p.add_argument("--title", default="repro run report",
+                   help="report heading (default 'repro run report')")
+    p.add_argument("--out", metavar="PATH", default="report.html",
+                   help="HTML output path (default report.html)")
+    p.set_defaults(func=cmd_report)
     return parser
 
 

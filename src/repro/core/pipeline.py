@@ -82,6 +82,7 @@ class PipelineRunner:
         sampler_workers: int = 1,
         loader_workers: int = 1,
         tracer=None,
+        metrics=None,
         batch_info: list | None = None,
         injector=None,
         invariants=None,
@@ -110,6 +111,12 @@ class PipelineRunner:
         the simulated time each batch's load stage completes.  With
         ``tracer=None`` no event objects are allocated at all.
 
+        ``metrics`` (a :class:`repro.metrics.MetricsRegistry`) streams
+        the same signals into fixed sim-time windows instead of an
+        event log: SM utilization and queue-depth gauges (via the
+        engine primitives), per-link byte counters and feature-cache
+        counters.  Same zero-cost-off contract as the tracer.
+
         ``injector`` (a :class:`repro.chaos.FaultInjector`) perturbs
         the replay; ``invariants`` (an
         :class:`repro.chaos.InvariantChecker`) audits it.  A
@@ -136,6 +143,7 @@ class PipelineRunner:
         self.sampler_workers = sampler_workers
         self.loader_workers = loader_workers
         self.tracer = tracer
+        self.metrics = metrics
         self.batch_info = batch_info
         self.injector = injector
         self.invariants = invariants
@@ -168,9 +176,10 @@ class PipelineRunner:
         """Simulate the epoch; returns wall time and GPU utilization."""
         k = self.cluster.num_gpus
         tracer = self.tracer
+        met = self.metrics
         inj = self.injector
         inv = self.invariants
-        sim = Simulator(tracer=tracer)
+        sim = Simulator(tracer=tracer, metrics=met)
         if inv is not None:
             sim.invariants = inv
         if inj is not None:
@@ -246,10 +255,17 @@ class PipelineRunner:
                         skipped_bytes[link] = (
                             skipped_bytes.get(link, 0.0) + nbytes / k
                         )
-            elif inv is not None:
-                for link, nbytes in cost.link_bytes().items():
-                    if nbytes:
-                        inv.on_bytes(link, nbytes / k)
+            else:
+                if inv is not None:
+                    for link, nbytes in cost.link_bytes().items():
+                        if nbytes:
+                            inv.on_bytes(link, nbytes / k)
+                if met is not None:
+                    for link, nbytes in cost.link_bytes().items():
+                        if nbytes:
+                            met.counter("link_bytes", link=link).inc(
+                                sim.now, nbytes / k
+                            )
             if tracer is not None:
                 trace_op(g, cost, tag, track, t0, degraded)
 
@@ -261,7 +277,9 @@ class PipelineRunner:
                 return
             for key, value in info.get("cache", {}).items():
                 cache_totals[key] = cache_totals.get(key, 0) + value
-            if cache_totals:
+                if met is not None and value:
+                    met.counter("feature_cache", key=key).inc(sim.now, value)
+            if cache_totals and tracer is not None:
                 tracer.counter("cache", "cumulative", sim.now,
                                **cache_totals)
 
@@ -368,7 +386,8 @@ class PipelineRunner:
                         for i, cost in enumerate(self.batches[t][stage]):
                             yield from run_op(g, cost, (stage, t, i), track)
                         stage_done(g, stage, t)
-                        if stage == "load" and tracer is not None and g == 0:
+                        if (stage == "load" and g == 0
+                                and (tracer is not None or met is not None)):
                             emit_batch_info(t)
                     if k > 1:
                         yield barrier.arrive(("batch-end", t), k)
@@ -450,7 +469,7 @@ class PipelineRunner:
                     for i, cost in enumerate(self.batches[t]["load"]):
                         yield from run_op(g, cost, ("load", t, i), track)
                     stage_done(g, "load", t)
-                    if tracer is not None and g == 0:
+                    if g == 0 and (tracer is not None or met is not None):
                         emit_batch_info(t)
                     yield queues_lt[g].put(t)
 
@@ -519,6 +538,8 @@ class PipelineRunner:
 
         try:
             total = sim.run()
+            if met is not None:
+                met.finalize(total)
         except DeadlockError as e:
             stall = _diagnose_stall(e, procs, queue_producers,
                                     queue_consumers, gate=gate,

@@ -185,7 +185,7 @@ class TrainingSystem:
 
     def run_epoch(
         self, max_batches: int | None = None, functional: bool = True,
-        tracer=None, chaos=None,
+        tracer=None, metrics=None, chaos=None,
     ) -> EpochMetrics:
         """One epoch: functional training + cost accounting.
 
@@ -201,6 +201,11 @@ class TrainingSystem:
         replay (see ``docs/observability.md``).  The trace covers the
         measured batches only, i.e. the epoch before the ``max_batches``
         extrapolation and the per-batch allocator overhead are applied.
+
+        ``metrics`` (a :class:`repro.metrics.MetricsRegistry`) streams
+        the same signals into fixed sim-time windows — SM utilization,
+        queue depths, per-link bytes, feature-cache counters — instead
+        of retaining a full event log.  Zero-cost when ``None``.
 
         ``chaos`` (a :class:`repro.chaos.ChaosRuntime`, duck-typed via
         its ``pipeline_kwargs()``) injects faults into the pipeline
@@ -231,7 +236,7 @@ class TrainingSystem:
             accs.append(acc)
             for key in cache_stats:
                 cache_stats[key] += stats.get(key, 0)
-            if tracer is not None:
+            if tracer is not None or metrics is not None:
                 batch_info.append({"cache": dict(stats)})
 
             costs = {
@@ -250,7 +255,8 @@ class TrainingSystem:
 
         overhead = self._batch_overhead() * len(measured)
         scale_up = len(batches) / len(measured)
-        info = batch_info if tracer is not None else None
+        info = (batch_info if (tracer is not None or metrics is not None)
+                else None)
         chaos_kwargs = {} if chaos is None else chaos.pipeline_kwargs()
         if self.pipelined:
             result = PipelineRunner(
@@ -261,13 +267,14 @@ class TrainingSystem:
                 sampler_workers=self.config.sampler_workers,
                 loader_workers=self.config.loader_workers,
                 tracer=tracer,
+                metrics=metrics,
                 batch_info=info,
                 **chaos_kwargs,
             ).run()
         else:
             result = PipelineRunner(
                 self.cluster, stage_costs, sequential=True,
-                tracer=tracer, batch_info=info,
+                tracer=tracer, metrics=metrics, batch_info=info,
                 **chaos_kwargs,
             ).run()
         #: the replayed pipeline outcome of the latest epoch, including

@@ -44,6 +44,9 @@ class Resource:
         self._last_t = sim.now
         self._area = 0.0  # integral of used threads dt
         self._busy = 0.0  # integral of [used > 0] dt
+        # lazily bound metrics instruments (only when sim.metrics is set)
+        self._m_util = None
+        self._m_busy = None
 
     # -- accounting ----------------------------------------------------
     def _account(self) -> None:
@@ -64,6 +67,19 @@ class Resource:
         ``if sim.tracer is not None`` to keep untraced runs call-free."""
         self.sim.tracer.counter(self.name, "used", self.sim.now,
                                 used=self.used)
+
+    def _metric_used(self) -> None:
+        """Utilization gauges on a ``used`` transition.  Callers guard
+        with ``if sim.metrics is not None`` (zero-cost-off)."""
+        util = self._m_util
+        if util is None:
+            reg = self.sim.metrics
+            util = self._m_util = reg.gauge("resource_util",
+                                            resource=self.name)
+            self._m_busy = reg.gauge("resource_busy", resource=self.name)
+        t = self.sim.now
+        util.set(t, self.used / self.capacity)
+        self._m_busy.set(t, 1.0 if self.used else 0.0)
 
     def occupancy(self, total_time: float | None = None) -> float:
         """Mean fraction of capacity in use over the simulation."""
@@ -94,6 +110,8 @@ class Resource:
         self.used -= n
         if self.sim.tracer is not None:
             self._trace_used()
+        if self.sim.metrics is not None:
+            self._metric_used()
         self._drain()
 
     def _drain(self) -> None:
@@ -105,6 +123,8 @@ class Resource:
             self.used += n
             if self.sim.tracer is not None:
                 self._trace_used()
+            if self.sim.metrics is not None:
+                self._metric_used()
             self.sim.resume(proc)
 
 
@@ -120,6 +140,8 @@ class _Acquire(_Request):
             r.used += self.n
             if sim.tracer is not None:
                 r._trace_used()
+            if sim.metrics is not None:
+                r._metric_used()
             return True
         proc.waiting_on = f"acquire({r.name}, {self.n})"
         r._waiters.append((proc, self.n))
@@ -140,6 +162,8 @@ class BoundedQueue:
         self._getters: deque[Process] = deque()
         #: total items that passed through (metrics)
         self.total_put = 0
+        # lazily bound metrics instrument (only when sim.metrics is set)
+        self._m_depth = None
 
     def __len__(self) -> int:
         return len(self.items)
@@ -163,6 +187,8 @@ class BoundedQueue:
             )
         if self.sim.tracer is not None:
             self._trace_depth()
+        if self.sim.metrics is not None:
+            self._metric_depth()
 
     def _trace_depth(self) -> None:
         """Queue-depth counter on a change.  Callers guard with
@@ -171,6 +197,16 @@ class BoundedQueue:
                                 depth=len(self.items),
                                 blocked_putters=len(self._putters),
                                 blocked_getters=len(self._getters))
+
+    def _metric_depth(self) -> None:
+        """Depth gauge on a change.  Callers guard with
+        ``if sim.metrics is not None`` (zero-cost-off)."""
+        depth = self._m_depth
+        if depth is None:
+            depth = self._m_depth = self.sim.metrics.gauge(
+                "queue_depth", queue=self.name
+            )
+        depth.set(self.sim.now, len(self.items))
 
 
 @dataclass
@@ -202,8 +238,11 @@ class _Get(_Request):
                 putter, item = q._putters.popleft()
                 q._push(item)
                 sim.resume(putter)
-            elif sim.tracer is not None:
-                q._trace_depth()
+            else:
+                if sim.tracer is not None:
+                    q._trace_depth()
+                if sim.metrics is not None:
+                    q._metric_depth()
             return True
         proc.waiting_on = f"get({q.name})"
         q._getters.append(proc)

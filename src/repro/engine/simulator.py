@@ -70,7 +70,7 @@ class Process:
 class Simulator:
     """Event loop: schedules callbacks at simulated times, drives processes."""
 
-    def __init__(self, tracer=None) -> None:
+    def __init__(self, tracer=None, metrics=None) -> None:
         self.now: float = 0.0
         #: entries are ``(time, seq, target, value)``; ``target`` is a
         #: Process (resume it with ``value``) or a bare callback — a
@@ -83,6 +83,10 @@ class Simulator:
         #: optional :class:`repro.obs.Tracer`; when None (the default)
         #: no trace event is ever allocated (every hook is guarded)
         self.tracer = tracer
+        #: optional :class:`repro.metrics.MetricsRegistry`; when None
+        #: (the default) no metrics hook runs anywhere in the engine —
+        #: same zero-cost-off contract as the tracer
+        self.metrics = metrics
         #: optional :class:`repro.chaos.InvariantChecker`; when None
         #: (the default) no invariant hook runs anywhere in the engine
         self.invariants = None

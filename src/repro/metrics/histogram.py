@@ -1,0 +1,136 @@
+"""Log-bucketed streaming histograms: bounded-state quantiles.
+
+FastSample-scale runs (PAPERS.md) rule out retaining every latency
+sample just to report a p99: a serving run at the knee completes
+millions of requests per simulated second.  A :class:`LogHistogram`
+keeps **O(log(max/min))** state regardless of sample count — sparse
+counts over geometrically spaced buckets — and answers nearest-rank
+quantiles with a bounded relative error:
+
+- bucket ``i`` covers ``(growth**i, growth**(i+1)]``;
+- a quantile resolves to the geometric midpoint of the bucket holding
+  the nearest-rank sample, clamped into ``[min, max]`` observed;
+- the relative error is therefore at most ``sqrt(growth) - 1`` —
+  ~4.4% at the default ``growth = 2**(1/8)`` — uniformly across
+  magnitudes (microseconds and minutes bucket equally finely).
+
+Bucketing is monotone in the value, so the bucket the cumulative walk
+stops in is exactly the bucket containing the true nearest-rank sample
+— the error bound is an algebraic fact, not a heuristic, and the test
+suite asserts it across magnitudes.  Values at or below ``min_value``
+(zeros: a request served entirely from cache in zero simulated time)
+land in a dedicated underflow bucket represented as 0.0.
+
+Histograms merge by bucket-wise addition (:meth:`merge`), which is how
+per-window state folds into a run-cumulative view.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.metrics.quantile import nearest_rank
+
+__all__ = ["DEFAULT_GROWTH", "LogHistogram"]
+
+#: default bucket growth factor: 8 buckets per octave, <= ~4.4% error
+DEFAULT_GROWTH = 2.0 ** 0.125
+
+
+class LogHistogram:
+    """Sparse log-bucketed histogram with nearest-rank quantiles."""
+
+    __slots__ = ("growth", "min_value", "_log_g", "counts", "zero",
+                 "count", "total", "min", "max")
+
+    def __init__(self, growth: float = DEFAULT_GROWTH,
+                 min_value: float = 1e-12):
+        if growth <= 1.0:
+            raise ValueError("growth must exceed 1.0")
+        if min_value <= 0.0:
+            raise ValueError("min_value must be positive")
+        self.growth = growth
+        self.min_value = min_value
+        self._log_g = math.log(growth)
+        self.counts: dict[int, int] = {}
+        self.zero = 0  # samples <= min_value (incl. exact zeros)
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    # -- recording -------------------------------------------------------
+    def add(self, value: float, n: int = 1) -> None:
+        """Record ``value`` ``n`` times (negatives clamp to the underflow
+        bucket: simulated latencies are non-negative by construction)."""
+        value = float(value)
+        self.count += n
+        self.total += value * n
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        if value <= self.min_value:
+            self.zero += n
+            return
+        i = math.floor(math.log(value) / self._log_g)
+        self.counts[i] = self.counts.get(i, 0) + n
+
+    def merge(self, other: "LogHistogram") -> None:
+        """Fold ``other`` into this histogram (same growth required)."""
+        if other.growth != self.growth:
+            raise ValueError("cannot merge histograms with different growth")
+        self.count += other.count
+        self.total += other.total
+        self.zero += other.zero
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+        for i, n in other.counts.items():
+            self.counts[i] = self.counts.get(i, 0) + n
+
+    # -- queries ---------------------------------------------------------
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else float("nan")
+
+    def quantile(self, q: float) -> float:
+        """Approximate ``q``-th percentile (nearest-rank over buckets).
+
+        NaN when empty; otherwise within ``sqrt(growth) - 1`` relative
+        error of the exact nearest-rank sample (see module doc).
+        """
+        if self.count == 0:
+            return float("nan")
+        rank = nearest_rank(self.count, q)
+        acc = self.zero
+        if rank <= acc:
+            # underflow bucket: every sample here is <= min_value
+            return max(0.0, self.min)
+        for i in sorted(self.counts):
+            acc += self.counts[i]
+            if acc >= rank:
+                rep = self.growth ** (i + 0.5)
+                return min(max(rep, self.min), self.max)
+        return self.max  # unreachable unless counts were mutated externally
+
+    def quantiles(self, qs=(50, 95, 99)) -> tuple[float, ...]:
+        return tuple(self.quantile(q) for q in qs)
+
+    def to_dict(self) -> dict:
+        """JSON-safe snapshot (bucket keys as strings, sorted)."""
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "zero": self.zero,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "growth": self.growth,
+            "buckets": {str(i): self.counts[i] for i in sorted(self.counts)},
+        }
+
+    def __len__(self) -> int:
+        return self.count
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"LogHistogram(count={self.count}, "
+                f"buckets={len(self.counts)})")

@@ -1,0 +1,59 @@
+"""The single shared latency-quantile helper.
+
+Every latency percentile the repo reports flows through this module:
+:func:`percentiles` is what :mod:`repro.serve.stats` uses for the
+p50/p95/p99 of a :class:`~repro.serve.stats.ServeReport` (linear
+interpolation, :func:`numpy.percentile` semantics, so reports stay
+bit-identical to the historical hand-rolled computation), and
+:func:`nearest_rank` is the discrete rank rule the windowed streaming
+histograms (:mod:`repro.metrics.histogram`) resolve their bucket walks
+with.  Keeping both rules in one file — with a regression test pinning
+the small-``n`` edge cases (``n=0``, ``n=1``, ties) — is what stops a
+third ad-hoc quantile from growing somewhere else in the tree.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = ["nearest_rank", "percentile", "percentiles"]
+
+
+def percentile(values, q: float) -> float:
+    """The ``q``-th percentile (``0 <= q <= 100``) of ``values``.
+
+    Linear-interpolation semantics identical to ``numpy.percentile``:
+    ``n=1`` returns that value for every ``q``; an empty input returns
+    NaN (numpy would warn and return NaN — the empty check keeps runs
+    warning-clean).
+    """
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0:
+        return float("nan")
+    return float(np.percentile(arr, q))
+
+
+def percentiles(values, qs=(50, 95, 99)) -> tuple[float, ...]:
+    """:func:`percentile` at each ``q`` of ``qs`` (one sort, many reads)."""
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0:
+        return tuple(float("nan") for _ in qs)
+    return tuple(float(np.percentile(arr, q)) for q in qs)
+
+
+def nearest_rank(n: int, q: float) -> int:
+    """1-based nearest-rank of the ``q``-th percentile among ``n`` samples.
+
+    The classic discrete rule: ``rank = ceil(q/100 * n)``, clamped to
+    ``[1, n]`` so ``q=0`` selects the minimum and ``q=100`` the maximum.
+    This is the rule a streaming histogram can answer exactly from
+    bucket counts — the selected rank always falls inside one bucket.
+    ``n`` must be positive (an empty population has no ranks).
+    """
+    if n <= 0:
+        raise ValueError("nearest_rank needs a non-empty population")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile {q} outside [0, 100]")
+    return min(n, max(1, math.ceil(q / 100.0 * n)))

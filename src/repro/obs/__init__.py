@@ -18,6 +18,7 @@ from repro.obs.tracer import (
     wait_category,
 )
 from repro.obs.export import (
+    read_chrome_trace,
     run_trace_path,
     to_chrome_trace,
     to_text,
@@ -42,6 +43,7 @@ __all__ = [
     "CounterEvent",
     "WAIT_CATEGORIES",
     "wait_category",
+    "read_chrome_trace",
     "run_trace_path",
     "to_chrome_trace",
     "to_text",

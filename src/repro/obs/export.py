@@ -102,6 +102,69 @@ def write_chrome_trace(tracer: Tracer, path) -> None:
         json.dump(to_chrome_trace(tracer), f)
 
 
+def read_chrome_trace(path) -> Tracer:
+    """Load a Chrome trace-event JSON back into a :class:`Tracer`.
+
+    The inverse of :func:`to_chrome_trace` for the event kinds the
+    analyses consume: ``X`` spans, ``i`` instants and ``C`` counters
+    come back with their original tracks (recovered from the
+    ``thread_name`` metadata), timestamps converted back to simulated
+    seconds.  Raises :class:`~repro.utils.errors.ConfigError` when the
+    file is not valid JSON or not a Chrome trace; missing files raise
+    the usual :class:`FileNotFoundError`.
+    """
+    from repro.utils.errors import ConfigError
+
+    with open(path) as f:
+        try:
+            payload = json.load(f)
+        except json.JSONDecodeError as err:
+            raise ConfigError(f"{path}: not valid JSON ({err})") from err
+    if (not isinstance(payload, dict)
+            or not isinstance(payload.get("traceEvents"), list)):
+        raise ConfigError(
+            f"{path}: not a Chrome trace (no 'traceEvents' list)"
+        )
+    events = payload["traceEvents"]
+    tracks: dict[tuple, str] = {}
+    groups: dict = {}
+    for ev in events:
+        if not isinstance(ev, dict) or ev.get("ph") != "M":
+            continue
+        name = (ev.get("args") or {}).get("name")
+        if ev.get("name") == "process_name":
+            groups[ev.get("pid")] = name
+        elif ev.get("name") == "thread_name":
+            tracks[(ev.get("pid"), ev.get("tid"))] = name
+    tracer = Tracer()
+    for (pid, tid), track in tracks.items():
+        tracer.declare_track(track, group=groups.get(pid), sort=tid or 0)
+    for ev in events:
+        if not isinstance(ev, dict):
+            continue
+        ph = ev.get("ph")
+        if ph not in ("X", "i", "C"):
+            continue
+        track = tracks.get(
+            (ev.get("pid"), ev.get("tid")), f"pid{ev.get('pid')}"
+        )
+        ts = float(ev.get("ts", 0.0)) / _US
+        args = ev.get("args") or {}
+        name = str(ev.get("name", ""))
+        if ph == "X":
+            tracer.span(track, name, ev.get("cat", ""), start=ts,
+                        end=ts + float(ev.get("dur", 0.0)) / _US, **args)
+        elif ph == "i":
+            tracer.instant(track, name, ts, cat=ev.get("cat", ""), **args)
+        else:
+            # the exporter prefixes counter names with their track when
+            # the two differ — undo that so queries by name still match
+            if name.startswith(track + " "):
+                name = name[len(track) + 1:]
+            tracer.counter(track, name, ts, **args)
+    return tracer
+
+
 def run_trace_path(base, label: str) -> str:
     """Per-run trace filename of a parallel fan-out.
 

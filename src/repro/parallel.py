@@ -146,7 +146,9 @@ def _serve_point(spec: RunSpec):
 
         tracer = Tracer()
     report = serve_once(
-        system, p["workload"], p["qps"], p.get("serve_config"), tracer=tracer
+        system, p["workload"], p["qps"], p.get("serve_config"), tracer=tracer,
+        metrics=p.get("metrics", False),
+        metrics_window_s=p.get("metrics_window_s"),
     )
     if tracer is not None:
         from repro.obs import write_chrome_trace

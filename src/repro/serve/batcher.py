@@ -63,6 +63,9 @@ class AdmissionBatcher:
         self._waiter: Process | None = None
         #: deadline of the armed timeout timer (None = no timer in flight)
         self._timer_deadline: float | None = None
+        # lazily bound metrics instruments (only when sim.metrics is set)
+        self._m_depth = None
+        self._m_shed = None
 
     # -- producer side (arrivals process) ------------------------------
     def offer(self, req: Request) -> bool:
@@ -73,10 +76,19 @@ class AdmissionBatcher:
                 self.sim.tracer.instant(
                     self.name, "shed", self.sim.now, cat="shed", rid=req.rid
                 )
+            if self.sim.metrics is not None:
+                shed = self._m_shed
+                if shed is None:
+                    shed = self._m_shed = self.sim.metrics.counter(
+                        "requests_shed", gpu=self.gpu
+                    )
+                shed.inc(self.sim.now)
             return False
         self.pending.append(req)
         if self.sim.tracer is not None:
             self._trace_depth()
+        if self.sim.metrics is not None:
+            self._metric_depth()
         self._service()
         return True
 
@@ -106,6 +118,8 @@ class AdmissionBatcher:
         batch = [self.pending.popleft() for _ in range(n)]
         if self.sim.tracer is not None:
             self._trace_depth()
+        if self.sim.metrics is not None:
+            self._metric_depth()
         return batch
 
     def _service(self) -> None:
@@ -151,6 +165,16 @@ class AdmissionBatcher:
             self.name, "depth", self.sim.now,
             depth=len(self.pending), shed=len(self.shed),
         )
+
+    def _metric_depth(self) -> None:
+        """Admission-depth gauge on a change.  Callers guard with
+        ``if sim.metrics is not None`` (zero-cost-off)."""
+        depth = self._m_depth
+        if depth is None:
+            depth = self._m_depth = self.sim.metrics.gauge(
+                "admission_depth", gpu=self.gpu
+            )
+        depth.set(self.sim.now, len(self.pending))
 
 
 @dataclass

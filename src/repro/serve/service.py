@@ -116,10 +116,14 @@ class GNNServer:
     """Serve an open-loop request stream on a built training system."""
 
     def __init__(self, system, config: ServeConfig | None = None,
-                 tracer=None, injector=None, invariants=None):
+                 tracer=None, metrics=None, injector=None, invariants=None):
         self.system = system
         self.config = config if config is not None else ServeConfig()
         self.tracer = tracer
+        #: optional :class:`repro.metrics.MetricsRegistry` — streams
+        #: per-stage latency/batch/queue/shed/cache series into fixed
+        #: sim-time windows (zero-cost when None, like the tracer)
+        self.metrics = metrics
         #: optional :class:`repro.chaos.FaultInjector` (straggler /
         #: link faults and lost cache peers perturb the serve replay)
         self.injector = injector
@@ -150,7 +154,8 @@ class GNNServer:
         if not requests:
             raise ConfigError("need at least one request")
         system, cfg, k = self.system, self.config, self.k
-        sim = Simulator(tracer=self.tracer)
+        met = self.metrics
+        sim = Simulator(tracer=self.tracer, metrics=met)
         tracer = self.tracer
         inj = self.injector
         if self.invariants is not None:
@@ -160,6 +165,21 @@ class GNNServer:
         plan_cache = getattr(system.loader, "plan_cache", None)
         # failover loaders per lost-peer set, built lazily on first use
         failover_loaders: dict = {}
+
+        # pre-bound metrics instruments (hot-path hooks below are all
+        # guarded by ``met is not None`` — zero-cost when detached)
+        m_lat = m_batch = m_done = m_viol = m_degr = None
+        m_stage: dict = {}
+        if met is not None:
+            m_lat = met.histogram("request_latency")
+            m_stage = {
+                s: met.histogram("stage_latency", stage=s)
+                for s in ("queue", "batch") + SERVE_STAGES
+            }
+            m_batch = met.histogram("batch_size")
+            m_done = met.counter("requests_completed")
+            m_viol = met.counter("slo_violations")
+            m_degr = met.counter("requests_degraded")
 
         threads = [
             Resource(sim, system.cluster.gpu.total_threads,
@@ -246,6 +266,8 @@ class GNNServer:
                 if tracer is not None:
                     tracer.instant(f"batcher-gpu{g}", "batch-close", sim.now,
                                    cat="batch", batch=bid, size=len(reqs))
+                if met is not None:
+                    m_batch.observe(sim.now, len(reqs))
                 yield sampleq[g].put(batch)
 
         def sampler(g: int):
@@ -286,20 +308,31 @@ class GNNServer:
                 if failover is not None:
                     # lost cache peer: serve the batch over the UVA
                     # cold path instead of the dead shard
-                    feats, trace, _stats = failover.load(reqs)
+                    feats, trace, stats = failover.load(reqs)
                     batch.degraded = True
                     if tracer is not None:
                         tracer.instant(track, "degraded-load", sim.now,
                                        cat="chaos", batch=batch.bid,
                                        lost=sorted(lost))
                 else:
-                    feats, trace, _stats = system._load(reqs)
+                    feats, trace, stats = system._load(reqs)
                 for cost in system.engine.trace_cost(trace):
                     yield from run_op(g, cost, "load", batch.bid, track)
                 if tracer is not None and plan_cache is not None:
                     tracer.counter("plan-cache", "plan-cache", sim.now,
                                    hits=plan_cache.hits,
                                    misses=plan_cache.misses)
+                if met is not None:
+                    for path, n in stats.items():
+                        if n:
+                            met.counter("feature_requests", path=path).inc(
+                                sim.now, n
+                            )
+                    if plan_cache is not None:
+                        met.gauge("plan_cache_hits").set(
+                            sim.now, plan_cache.hits)
+                        met.gauge("plan_cache_misses").set(
+                            sim.now, plan_cache.misses)
                 batch.feats = feats
                 batch.stages["load"] = sim.now - t0
                 yield computeq[g].put(batch)
@@ -336,6 +369,18 @@ class GNNServer:
                     }
                     if preds is not None:
                         rec.prediction = int(preds[i])
+                    if met is not None:
+                        lat = rec.latency
+                        m_lat.observe(sim.now, lat)
+                        m_done.inc(sim.now)
+                        # the SLO boundary is decided here, on the exact
+                        # latency — never re-derived from bucketed state
+                        if lat > cfg.slo_s:
+                            m_viol.inc(sim.now)
+                        if batch.degraded:
+                            m_degr.inc(sim.now)
+                        for stage, dur in rec.stages.items():
+                            m_stage[stage].observe(sim.now, dur)
 
         if tracer is not None:
             if plan_cache is not None:
@@ -352,6 +397,8 @@ class GNNServer:
             sim.spawn(loader(g), name=f"loader-gpu{g}")
             sim.spawn(compute(g), name=f"infer-gpu{g}")
         sim.run()
+        if met is not None:
+            met.finalize(sim.now)
 
         ordered = [records[r.rid] for r in requests]
         accuracy = float("nan")

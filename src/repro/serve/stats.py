@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.metrics import scrub_nan
+from repro.metrics.quantile import percentiles
 
 #: latency stages in pipeline order
 STAGE_NAMES = ("queue", "batch", "sample", "load", "compute")
@@ -73,6 +74,9 @@ class ServeReport:
     num_batches: int
     accuracy: float = float("nan")  # functional runs with labels only
     degraded: int = 0  # completions served via a degraded path
+    #: windowed metrics summary (:func:`repro.metrics.serve_summary`)
+    #: attached by ``serve_once(metrics=True)``; None otherwise
+    metrics: dict | None = None
 
     def to_dict(self) -> dict:
         out = {
@@ -105,6 +109,9 @@ class ServeReport:
         # JSON stays byte-identical to pre-chaos outputs
         if self.degraded:
             out["degraded"] = self.degraded
+        # same contract: the key exists only when metrics were attached
+        if self.metrics is not None:
+            out["metrics"] = self.metrics
         return out
 
 
@@ -128,9 +135,10 @@ def build_report(
     within = int((latencies <= slo_s).sum()) if len(latencies) else 0
 
     if len(latencies):
-        p50, p95, p99 = (
-            float(np.percentile(latencies, q)) for q in (50, 95, 99)
-        )
+        # the single shared quantile helper (numpy.percentile
+        # semantics), so every report stays bit-identical to the
+        # historical inline computation
+        p50, p95, p99 = percentiles(latencies)
         mean_lat = float(latencies.mean())
         max_lat = float(latencies.max())
     else:

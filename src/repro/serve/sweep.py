@@ -38,12 +38,27 @@ def _reseed_sampler(system) -> None:
         sampler.rngs = spawn_rngs(make_rng(system.config.seed), len(rngs))
 
 
+def _reset_plan_cache(system) -> None:
+    """Return the feature-path plan cache to its freshly-built state.
+
+    Sweep points sharing a process also share ``system.loader`` and its
+    plan cache; loader outputs are cache-transparent, but hit/miss
+    counts (surfaced by the metrics layer) are not.  Resetting per run
+    makes them a pure function of the point — byte-identical whichever
+    worker executes it."""
+    pc = getattr(getattr(system, "loader", None), "plan_cache", None)
+    if pc is not None:
+        pc.reset()
+
+
 def serve_once(
     system,
     workload: Workload,
     qps: float,
     config: ServeConfig | None = None,
     tracer=None,
+    metrics: bool = False,
+    metrics_window_s: float | None = None,
 ) -> ServeReport:
     """Serve ``workload`` at one offered QPS; sampler RNGs are reset
     first so points of a sweep are independent and reproducible.
@@ -52,17 +67,41 @@ def serve_once(
     :class:`~repro.chaos.InvariantChecker` (strict: a broken simulation
     raises instead of producing a subtly wrong report); the report
     itself is bit-identical with the checker on or off.
+
+    ``metrics=True`` attaches a
+    :class:`~repro.metrics.MetricsRegistry` (window =
+    ``metrics_window_s``, defaulting to the SLO) and fills
+    ``report.metrics`` with the windowed SLO/stage/queue/cache summary
+    (:func:`repro.metrics.serve_summary`).  Window boundaries are pure
+    functions of simulated time, so the summary is byte-identical
+    whichever worker runs the point.  With ``metrics=False`` the report
+    is bit-identical to one produced before the metrics layer existed.
     """
     _reseed_sampler(system)
+    _reset_plan_cache(system)
     invariants = None
     if config is not None and config.check_invariants:
         from repro.chaos.invariants import InvariantChecker
 
         invariants = InvariantChecker()
-    server = GNNServer(system, config, tracer=tracer, invariants=invariants)
+    registry = None
+    if metrics:
+        from repro.metrics import MetricsRegistry
+
+        cfg = config if config is not None else ServeConfig()
+        registry = MetricsRegistry(
+            window_s=(metrics_window_s if metrics_window_s is not None
+                      else cfg.slo_s)
+        )
+    server = GNNServer(system, config, tracer=tracer, metrics=registry,
+                       invariants=invariants)
     report = server.run(workload.requests(qps), offered_qps=qps)
     if invariants is not None:
         invariants.finalize()
+    if registry is not None:
+        from repro.metrics import serve_summary
+
+        report.metrics = serve_summary(registry, report.slo_s)
     return report
 
 
@@ -73,6 +112,8 @@ def qps_sweep(
     config: ServeConfig | None = None,
     workers: int = 1,
     trace_base=None,
+    metrics: bool = False,
+    metrics_window_s: float | None = None,
 ) -> list[SweepPoint]:
     """Serve the workload at each offered load, in increasing order.
 
@@ -88,6 +129,10 @@ def qps_sweep(
     ``trace_base`` (a path like ``"sweep.json"``) makes each point
     record a :class:`~repro.obs.Tracer` and write its own Chrome trace
     named per run (``sweep-qps2000.json``, ...).
+
+    ``metrics=True`` attaches a windowed metrics registry per point
+    (see :func:`serve_once`); the summaries ride on each report and are
+    byte-identical across ``workers`` settings.
     """
     from repro.obs.export import run_trace_path
     from repro.parallel import RunSpec, adopt_system, run_tasks
@@ -106,6 +151,8 @@ def qps_sweep(
                 "workload": workload,
                 "qps": q,
                 "serve_config": config,
+                "metrics": metrics,
+                "metrics_window_s": metrics_window_s,
             },
             trace_path=(
                 run_trace_path(trace_base, f"qps{q:g}") if trace_base else None

@@ -1,0 +1,87 @@
+"""CLI surface: ``repro serve --metrics`` and ``repro report``."""
+
+import json
+
+from repro.cli import main
+
+ARGS = ["--dataset", "tiny", "--gpus", "2", "--hidden", "16",
+        "--batch-size", "8", "--fanout", "5,3"]
+SERVE = ["serve", *ARGS, "--qps", "2000", "--requests", "24"]
+
+
+class TestServeMetricsFlag:
+    def test_metrics_column_and_json(self, capsys, tmp_path):
+        out_path = tmp_path / "serve.json"
+        assert main([*SERVE, "--metrics", "--out", str(out_path)]) == 0
+        printed = capsys.readouterr().out
+        assert "SLO min" in printed
+        payload = json.loads(out_path.read_text())
+        point = payload["systems"]["DSP"]["points"][0]
+        assert "metrics" in point
+        assert "slo_minutes_violated" in point["metrics"]["slo"]
+
+    def test_without_flag_json_is_metrics_free(self, capsys, tmp_path):
+        out_path = tmp_path / "serve.json"
+        assert main([*SERVE, "--out", str(out_path)]) == 0
+        assert "SLO min" not in capsys.readouterr().out
+        point = json.loads(out_path.read_text())["systems"]["DSP"]["points"][0]
+        assert "metrics" not in point
+
+
+class TestReportCommand:
+    def test_full_report_from_artifacts(self, capsys, tmp_path):
+        serve_json = tmp_path / "serve.json"
+        trace_json = tmp_path / "trace.json"
+        chaos_json = tmp_path / "chaos.json"
+        out_html = tmp_path / "report.html"
+        assert main([*SERVE, "--metrics", "--out", str(serve_json)]) == 0
+        assert main(["trace", *ARGS, "--batches", "1",
+                     "--out", str(trace_json)]) == 0
+        assert main(["chaos", *ARGS, "--systems", "DSP",
+                     "--scenarios", "cache-peer-loss", "--requests", "16",
+                     "--out", str(chaos_json)]) == 0
+        capsys.readouterr()
+        assert main(["report", "--serve", str(serve_json),
+                     "--chaos", str(chaos_json),
+                     "--trace", str(trace_json),
+                     "--out", str(out_html)]) == 0
+        assert "wrote" in capsys.readouterr().out
+        html = out_html.read_text()
+        assert html.startswith("<!DOCTYPE html>")
+        assert "SLO minutes violated" in html
+        assert "Chaos scenario matrix" in html
+        assert "Stall breakdown" in html and "Critical path" in html
+
+    def test_report_deterministic(self, capsys, tmp_path):
+        serve_json = tmp_path / "serve.json"
+        assert main([*SERVE, "--metrics", "--out", str(serve_json)]) == 0
+        a, b = tmp_path / "a.html", tmp_path / "b.html"
+        assert main(["report", "--serve", str(serve_json),
+                     "--out", str(a)]) == 0
+        assert main(["report", "--serve", str(serve_json),
+                     "--out", str(b)]) == 0
+        capsys.readouterr()
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_missing_input_is_one_line_error(self, capsys, tmp_path):
+        assert main(["report", "--serve", str(tmp_path / "nope.json"),
+                     "--out", str(tmp_path / "r.html")]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert len(err.strip().splitlines()) == 1
+
+    def test_corrupt_trace_is_one_line_error(self, capsys, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert main(["report", "--trace", str(bad),
+                     "--out", str(tmp_path / "r.html")]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "not valid JSON" in err
+
+    def test_non_trace_json_is_one_line_error(self, capsys, tmp_path):
+        nt = tmp_path / "nt.json"
+        nt.write_text('{"foo": 1}')
+        assert main(["report", "--trace", str(nt),
+                     "--out", str(tmp_path / "r.html")]) == 1
+        assert "not a Chrome trace" in capsys.readouterr().err

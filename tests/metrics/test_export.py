@@ -1,0 +1,70 @@
+"""Exporter formats: Prometheus text, JSONL, CSV."""
+
+import json
+
+from repro.metrics import MetricsRegistry, to_csv, to_jsonl, to_prometheus
+
+
+def _sample_registry() -> MetricsRegistry:
+    reg = MetricsRegistry(window_s=1.0)
+    reg.counter("requests_shed", gpu=0).inc(0.5, 3)
+    reg.gauge("queue_depth", queue="gpu0-admit").set(0.25, 2.0)
+    h = reg.histogram("request_latency")
+    h.observe(0.1, 0.001)
+    h.observe(0.2, 0.004)
+    h.observe(1.3, 0.002)
+    reg.event(0.7, "inject:gpu-straggler", gpu=0)
+    reg.finalize(2.0)
+    return reg
+
+
+class TestPrometheus:
+    def test_counter_gauge_histogram_shapes(self):
+        text = to_prometheus(_sample_registry())
+        assert '# TYPE repro_requests_shed_total counter' in text
+        assert 'repro_requests_shed_total{gpu="0"} 3.0' in text
+        assert '# TYPE repro_queue_depth gauge' in text
+        assert 'repro_queue_depth{queue="gpu0-admit"} 2.0' in text
+        assert '# TYPE repro_request_latency histogram' in text
+        assert 'repro_request_latency_bucket{le="+Inf"} 3' in text
+        assert 'repro_request_latency_count 3' in text
+        assert text.endswith("\n")
+
+    def test_bucket_counts_are_cumulative(self):
+        text = to_prometheus(_sample_registry())
+        counts = [
+            int(line.rsplit(" ", 1)[1])
+            for line in text.splitlines()
+            if line.startswith("repro_request_latency_bucket")
+        ]
+        assert counts == sorted(counts)
+        assert counts[-1] == 3
+
+    def test_empty_registry(self):
+        assert to_prometheus(MetricsRegistry(window_s=1.0)) == ""
+
+
+class TestJsonl:
+    def test_rows_parse_and_are_time_ordered(self):
+        rows = [json.loads(line)
+                for line in to_jsonl(_sample_registry()).splitlines()]
+        assert rows
+        assert [r["t"] for r in rows] == sorted(r["t"] for r in rows)
+        kinds = {r["kind"] for r in rows}
+        assert kinds == {"counter", "gauge", "histogram", "event"}
+        ev = [r for r in rows if r["kind"] == "event"][0]
+        assert ev["name"] == "inject:gpu-straggler"
+
+    def test_byte_deterministic(self):
+        assert to_jsonl(_sample_registry()) == to_jsonl(_sample_registry())
+
+
+class TestCsv:
+    def test_header_and_long_form(self):
+        text = to_csv(_sample_registry())
+        lines = text.splitlines()
+        assert lines[0] == "t,kind,name,labels,field,value"
+        assert any(",counter,requests_shed,gpu=0,value," in line
+                   for line in lines)
+        assert any(",histogram,request_latency,,p99," in line
+                   for line in lines)

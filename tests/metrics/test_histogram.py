@@ -1,0 +1,94 @@
+"""Streaming log-bucketed histogram: accuracy, merging, edge cases."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.metrics.histogram import DEFAULT_GROWTH, LogHistogram
+
+#: worst-case relative error of a geometric-midpoint estimate
+REL_BOUND = math.sqrt(DEFAULT_GROWTH) - 1.0
+
+
+class TestAccuracy:
+    @pytest.mark.parametrize("scale", [1e-6, 1e-3, 1.0, 1e3, 1e6])
+    def test_quantiles_within_bucket_bound(self, scale):
+        """Estimated quantiles stay within the geometric-bucket error
+        bound of the exact quantiles, across nine decades of magnitude."""
+        rng = np.random.default_rng(5)
+        vals = rng.lognormal(mean=0.0, sigma=1.2, size=4000) * scale
+        h = LogHistogram()
+        for v in vals:
+            h.add(float(v))
+        for q in (50, 90, 95, 99):
+            exact = float(np.percentile(vals, q))
+            est = h.quantile(q)
+            assert abs(est - exact) / exact <= REL_BOUND + 1e-12, (
+                f"q={q} scale={scale}: {est} vs {exact}"
+            )
+
+    def test_extremes_clamped_to_observed_range(self):
+        h = LogHistogram()
+        for v in (0.5, 2.0, 8.0, 1.5):
+            h.add(v)
+        assert 0.5 <= h.quantile(0) <= 0.5 * (1 + REL_BOUND)
+        assert 8.0 / (1 + REL_BOUND) <= h.quantile(100) <= 8.0
+        assert h.count == 4
+        assert h.total == pytest.approx(12.0)
+
+    def test_mean(self):
+        h = LogHistogram()
+        for v in (1.0, 2.0, 3.0):
+            h.add(v)
+        assert h.mean == pytest.approx(2.0)
+
+
+class TestEdgeCases:
+    def test_empty(self):
+        h = LogHistogram()
+        assert h.count == 0
+        assert math.isnan(h.quantile(50))
+
+    def test_zero_and_negative_underflow(self):
+        """Non-positive observations land in the underflow bucket and
+        count toward rank but report the recorded minimum."""
+        h = LogHistogram()
+        h.add(0.0)
+        h.add(1.0)
+        assert h.count == 2
+        assert h.quantile(100) == 1.0
+
+    def test_weighted_add(self):
+        a, b = LogHistogram(), LogHistogram()
+        for _ in range(5):
+            a.add(3.0)
+        b.add(3.0, n=5)
+        assert a.count == b.count == 5
+        assert a.quantiles((50, 99)) == b.quantiles((50, 99))
+
+
+class TestMerge:
+    def test_merge_equals_combined_stream(self):
+        rng = np.random.default_rng(9)
+        xs = rng.exponential(size=500)
+        ys = rng.exponential(size=700) * 10
+        a, b, c = LogHistogram(), LogHistogram(), LogHistogram()
+        for v in xs:
+            a.add(float(v))
+            c.add(float(v))
+        for v in ys:
+            b.add(float(v))
+            c.add(float(v))
+        a.merge(b)
+        assert a.count == c.count
+        assert a.total == pytest.approx(c.total)
+        for q in (50, 95, 99):
+            assert a.quantile(q) == pytest.approx(c.quantile(q))
+
+    def test_to_dict_roundtrip_fields(self):
+        h = LogHistogram()
+        h.add(2.0)
+        d = h.to_dict()
+        assert d["count"] == 1
+        assert d["sum"] == pytest.approx(2.0)

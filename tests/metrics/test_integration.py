@@ -1,0 +1,151 @@
+"""End-to-end metrics contracts on the tiny dataset.
+
+The three acceptance properties of the metrics layer:
+
+1. metrics output is byte-identical across ``--workers`` settings;
+2. with metrics detached, serve reports and epoch results are
+   bit-identical to the uninstrumented seed behaviour;
+3. the chaos matrix carries the windowed SLO summary and the
+   per-scenario "SLO minutes violated" figure.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import RunConfig, build_system
+from repro.serve import (
+    ServeConfig,
+    WorkloadConfig,
+    make_workload,
+    qps_sweep,
+    serve_once,
+)
+
+CFG = RunConfig(dataset="tiny", num_gpus=2, hidden_dim=16, batch_size=8,
+                fanout=(5, 3), seed=3)
+
+
+@pytest.fixture(scope="module")
+def dsp():
+    return build_system("DSP", CFG)
+
+
+@pytest.fixture(scope="module")
+def workload(dsp):
+    return make_workload(
+        WorkloadConfig(num_requests=48, seed=7),
+        np.arange(dsp.base_dataset.num_nodes),
+    )
+
+
+class TestWorkerDeterminism:
+    def test_metrics_byte_identical_across_workers(self, dsp, workload):
+        """The full windowed metrics summary of every sweep point is a
+        pure function of the point — not of which process ran it."""
+        blobs = {}
+        for workers in (1, 2, 4):
+            points = qps_sweep(dsp, workload, [1000.0, 4000.0],
+                               ServeConfig(), workers=workers, metrics=True)
+            blobs[workers] = json.dumps(
+                [p.report.to_dict() for p in points], sort_keys=True
+            )
+        assert blobs[1] == blobs[2] == blobs[4]
+
+
+class TestMetricsOffBitIdentity:
+    def test_serve_report_identical_with_metrics_detached(self, dsp,
+                                                          workload):
+        """metrics=False reports carry no 'metrics' key and match a
+        metrics=True run on every other field."""
+        off = serve_once(dsp, workload, 2000.0, ServeConfig())
+        on = serve_once(dsp, workload, 2000.0, ServeConfig(), metrics=True)
+        d_off, d_on = off.to_dict(), on.to_dict()
+        assert "metrics" not in d_off
+        d_on.pop("metrics")
+        assert d_off == d_on
+
+    def test_epoch_identical_with_metrics_attached(self):
+        """A fault-free epoch is bit-identical whether or not a
+        registry observes it (the zero-cost-off contract)."""
+        from repro.metrics import MetricsRegistry
+
+        plain = build_system("DSP", CFG).run_epoch(
+            max_batches=2, functional=False
+        )
+        reg = MetricsRegistry(window_s=0.001)
+        observed = build_system("DSP", CFG).run_epoch(
+            max_batches=2, functional=False, metrics=reg
+        )
+        assert plain.epoch_time == observed.epoch_time
+        assert plain.nvlink_bytes == observed.nvlink_bytes
+        assert plain.pcie_bytes == observed.pcie_bytes
+        # and the registry actually saw the run
+        assert len(reg) > 0
+        assert reg.find("counter", "link_bytes", link="nvlink") is not None
+
+
+class TestServeInstrumentation:
+    def test_summary_matches_exact_report_counts(self, dsp, workload):
+        """Counters agree exactly with the report's own accounting;
+        windowed p99 brackets the exact p99 within the bucket bound."""
+        rep = serve_once(dsp, workload, 4000.0, ServeConfig(), metrics=True)
+        m = rep.metrics
+        assert m is not None
+        slo = m["slo"]
+        assert slo["completed"] == rep.completed
+        exact_viol = round((1.0 - rep.slo_attainment) * rep.offered)
+        assert slo["violations"] + rep.shed == exact_viol
+        assert slo["windows"], "expected at least one window"
+        total = sum(w["completed"] for w in slo["windows"])
+        assert total == rep.completed
+        assert set(m.get("stages", {})) >= {"queue", "batch", "sample",
+                                            "load", "compute"}
+
+    def test_window_width_override(self, dsp, workload):
+        rep = serve_once(dsp, workload, 2000.0, ServeConfig(),
+                         metrics=True, metrics_window_s=0.002)
+        assert rep.metrics["window_ms"] == pytest.approx(2.0)
+
+
+class TestChaosSLOColumn:
+    @pytest.fixture(scope="class")
+    def cell(self):
+        from repro.chaos.scenarios import run_scenario
+
+        return run_scenario("DSP", "cache-peer-loss", CFG,
+                            requests=24, qps=3000.0)
+
+    def test_serve_cell_carries_slo_summary(self, cell):
+        assert "slo_minutes_violated" in cell
+        assert "baseline_slo_minutes_violated" in cell
+        assert cell["slo"] is not None and "windows" in cell["slo"]
+        assert cell["fault_events"] >= 1  # the injected peer loss
+
+    def test_train_cell_counts_fault_events(self):
+        from repro.chaos.scenarios import run_scenario
+
+        cell = run_scenario("DSP", "straggler", CFG, max_batches=2)
+        assert cell["fault_events"] == 2  # inject + clear
+
+    def test_format_report_has_slo_column(self, cell):
+        from repro.chaos.scenarios import format_report
+
+        payload = {
+            "scenarios": ["cache-peer-loss"],
+            "systems": {"DSP": {"cache-peer-loss": cell}},
+            "summary": {"runs": 1, "completed": 1, "stalled": 0,
+                        "invariant_violations": 0,
+                        "invariants_clean": True},
+        }
+        text = format_report(payload)
+        assert "SLO min" in text
+
+    def test_cell_deterministic(self, cell):
+        from repro.chaos.scenarios import run_scenario
+
+        again = run_scenario("DSP", "cache-peer-loss", CFG,
+                             requests=24, qps=3000.0)
+        assert json.dumps(cell, sort_keys=True) == json.dumps(
+            again, sort_keys=True)

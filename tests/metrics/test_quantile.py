@@ -1,0 +1,64 @@
+"""Regression pins for the single shared quantile helper.
+
+``repro.serve.stats`` and the streaming histograms both lean on this
+module, so its edge-case behaviour (empty input, one sample, ties) is
+pinned here once instead of re-tested per consumer.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.metrics.quantile import nearest_rank, percentile, percentiles
+
+
+class TestPercentile:
+    def test_empty_input_is_nan(self):
+        assert math.isnan(percentile([], 50))
+        assert math.isnan(percentile(np.empty(0), 99))
+        p50, p95, p99 = percentiles([])
+        assert math.isnan(p50) and math.isnan(p95) and math.isnan(p99)
+
+    def test_single_sample_every_q(self):
+        for q in (0, 1, 50, 95, 99, 100):
+            assert percentile([7.25], q) == 7.25
+
+    def test_all_ties(self):
+        vals = [3.0] * 17
+        assert percentiles(vals) == (3.0, 3.0, 3.0)
+
+    def test_matches_numpy_percentile(self):
+        rng = np.random.default_rng(11)
+        for n in (1, 2, 3, 10, 101, 1000):
+            vals = rng.exponential(scale=2.0, size=n)
+            for q in (0, 10, 50, 90, 95, 99, 99.9, 100):
+                assert percentile(vals, q) == pytest.approx(
+                    float(np.percentile(vals, q)), rel=0, abs=0
+                )
+
+    def test_ordering(self):
+        vals = list(range(100))
+        p50, p95, p99 = percentiles(vals)
+        assert p50 <= p95 <= p99
+
+    def test_rejects_bad_q(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], -1)
+        with pytest.raises(ValueError):
+            percentile([1.0], 100.5)
+
+
+class TestNearestRank:
+    def test_pins(self):
+        # 1-indexed nearest-rank: ceil(q/100 * n), clamped to [1, n]
+        assert nearest_rank(1, 50) == 1
+        assert nearest_rank(1, 99) == 1
+        assert nearest_rank(100, 50) == 50
+        assert nearest_rank(100, 99) == 99
+        assert nearest_rank(10, 95) == 10
+        assert nearest_rank(10, 0) == 1
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            nearest_rank(0, 50)

@@ -1,0 +1,115 @@
+"""MetricsRegistry: windowing, gauge integrals, determinism."""
+
+import json
+
+import pytest
+
+from repro.metrics import MetricsRegistry
+
+
+class TestCounter:
+    def test_total_and_window_buckets(self):
+        reg = MetricsRegistry(window_s=1.0)
+        c = reg.counter("bytes", link="nvlink")
+        c.inc(0.1, 10)
+        c.inc(0.9, 5)
+        c.inc(1.5, 2)
+        assert c.total == 17.0
+        assert c.series() == [
+            {"t": 0.0, "value": 15.0},
+            {"t": 1.0, "value": 2.0},
+        ]
+
+    def test_label_sets_are_distinct_instruments(self):
+        reg = MetricsRegistry(window_s=1.0)
+        reg.counter("shed", gpu=0).inc(0.0)
+        reg.counter("shed", gpu=1).inc(0.0, 2)
+        assert reg.counter("shed", gpu=0).total == 1.0
+        assert reg.counter("shed", gpu=1).total == 2.0
+        assert reg.find("counter", "shed", gpu=2) is None
+
+
+class TestGauge:
+    def test_time_weighted_mean_within_one_window(self):
+        reg = MetricsRegistry(window_s=1.0)
+        g = reg.gauge("depth")
+        g.set(0.0, 4.0)   # held 4.0 over [0, 0.5)
+        g.set(0.5, 0.0)   # held 0.0 over [0.5, 1.0)
+        reg.finalize(1.0)
+        rows = g.series()
+        # window [0, 1) plus the zero-width window finalize(1.0) touches
+        assert len(rows) == 2
+        assert rows[0]["mean"] == pytest.approx(2.0)
+        assert rows[0]["max"] == 4.0
+        assert rows[1]["t"] == 1.0
+
+    def test_integral_splits_exactly_at_window_boundary(self):
+        reg = MetricsRegistry(window_s=1.0)
+        g = reg.gauge("depth")
+        g.set(0.5, 2.0)  # held across the t=1 boundary
+        g.set(1.5, 0.0)
+        reg.finalize(2.0)
+        rows = {r["t"]: r for r in g.series()}
+        assert rows[0.0]["mean"] == pytest.approx(1.0)  # 2.0 for half of [0,1)
+        assert rows[1.0]["mean"] == pytest.approx(1.0)  # 2.0 for half of [1,2)
+
+    def test_long_hold_spans_many_windows(self):
+        reg = MetricsRegistry(window_s=1.0)
+        g = reg.gauge("depth")
+        g.set(0.0, 3.0)
+        reg.finalize(5.0)
+        rows = g.series()
+        assert len(rows) == 6  # windows 0..5 (finalize touches window 5)
+        assert all(r["mean"] == pytest.approx(3.0) for r in rows[:5])
+
+
+class TestHistogramInstrument:
+    def test_per_window_and_cumulative(self):
+        reg = MetricsRegistry(window_s=1.0)
+        h = reg.histogram("lat")
+        h.observe(0.2, 1.0)
+        h.observe(0.8, 2.0)
+        h.observe(1.2, 4.0)
+        assert h.cumulative.count == 3
+        items = h.window_items()
+        assert [t for t, _ in items] == [0.0, 1.0]
+        assert items[0][1].count == 2
+        assert items[1][1].count == 1
+
+
+class TestRegistry:
+    def test_window_index_is_pure_function_of_time(self):
+        """The same observations produce the same series whatever order
+        instruments were created in — the cross-worker contract."""
+        def build(order):
+            reg = MetricsRegistry(window_s=0.5)
+            for name in order:
+                reg.counter(name).inc(0.7, 1)
+            reg.histogram("lat").observe(0.3, 1.0)
+            reg.finalize(1.0)
+            return json.dumps(reg.to_dict(), sort_keys=True)
+
+        assert build(["a", "b", "c"]) == build(["c", "a", "b"])
+
+    def test_events_sorted_in_to_dict(self):
+        reg = MetricsRegistry(window_s=1.0)
+        reg.event(2.0, "late", kind="x")
+        reg.event(1.0, "early")
+        d = reg.to_dict()
+        assert [e["name"] for e in d["events"]] == ["early", "late"]
+        assert d["events"][1]["kind"] == "x"
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry(window_s=0.0)
+        with pytest.raises(ValueError):
+            MetricsRegistry(window_s=float("inf"))
+
+    def test_instruments_iteration_deterministic(self):
+        reg = MetricsRegistry(window_s=1.0)
+        reg.counter("z")
+        reg.gauge("a")
+        reg.counter("a", gpu=1)
+        keys = [(k, n, tuple(sorted(lab.items())))
+                for k, n, lab, _ in reg.instruments()]
+        assert keys == sorted(keys)

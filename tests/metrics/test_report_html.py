@@ -1,0 +1,127 @@
+"""The HTML run report: determinism, escaping, input shapes."""
+
+from repro.metrics import build_report
+
+
+def _serve_payload() -> dict:
+    return {
+        "system": "DSP",
+        "offered_qps": 8000.0,
+        "slo_ms": 5.0,
+        "completed": 40,
+        "shed": 2,
+        "goodput_qps": 7000.0,
+        "slo_attainment": 0.95,
+        "latency_ms": {"p50": 0.8, "p95": 2.0, "p99": 4.0},
+        "metrics": {
+            "window_ms": 5.0,
+            "slo": {
+                "slo_ms": 5.0, "target": 0.99, "window_ms": 5.0,
+                "completed": 40, "violations": 1, "attainment": 0.975,
+                "burn_rate": 2.5, "slo_minutes_violated": 0.0005,
+                "windows": [
+                    {"t_ms": 0.0, "completed": 20, "violations": 0,
+                     "p50_ms": 0.7, "p95_ms": 1.5, "p99_ms": 2.2,
+                     "burn_rate": 0.0, "violated": False},
+                    {"t_ms": 5.0, "completed": 20, "violations": 1,
+                     "p50_ms": 0.9, "p95_ms": 2.5, "p99_ms": 5.5,
+                     "burn_rate": 5.0, "violated": True},
+                ],
+            },
+            "stages": {
+                "queue": [{"t_ms": 0.0, "count": 20, "p50_ms": 0.1,
+                           "p95_ms": 0.2, "p99_ms": 0.3}],
+            },
+            "shed": {"total": 2.0,
+                     "windows": [{"t": 0.005, "value": 2.0}]},
+            "events": [{"t_ms": 5.0, "name": "inject:gpu-straggler"}],
+        },
+    }
+
+
+def _chaos_payload() -> dict:
+    return {
+        "scenarios": ["straggler", "cache-peer-loss"],
+        "systems": {
+            "DSP": {
+                "straggler": {
+                    "mode": "train", "outcome": "completed",
+                    "slowdown": 2.6, "fault_events": 2,
+                    "invariants": {"clean": True, "violations": []},
+                },
+                "cache-peer-loss": {
+                    "mode": "serve", "outcome": "completed",
+                    "p99_ms": 1.2, "degraded": 24,
+                    "slo_minutes_violated": 0.0,
+                    "invariants": {"clean": True, "violations": []},
+                },
+            },
+        },
+        "summary": {"runs": 2, "completed": 2, "stalled": 0,
+                    "invariant_violations": 0, "invariants_clean": True},
+    }
+
+
+class TestDeterminism:
+    def test_byte_identical_builds(self):
+        kwargs = dict(serve=_serve_payload(), chaos=_chaos_payload(),
+                      trace_sections=[("Stall breakdown", "gpu 0 ...")])
+        assert build_report(**kwargs) == build_report(**kwargs)
+
+
+class TestServeSection:
+    def test_tiles_and_figures_present(self):
+        html = build_report(serve=_serve_payload())
+        assert "SLO minutes violated" in html
+        assert "Windowed request latency" in html
+        assert "SLO burn rate" in html
+        assert "Stage latency (p95)" in html
+        assert "inject:gpu-straggler" in html
+        # every rendered figure ships its table-view twin
+        assert html.count("<figure") == html.count(
+            "<details><summary>Data table")
+
+    def test_serve_list_renders_one_section_each(self):
+        a, b = _serve_payload(), _serve_payload()
+        b["system"] = "DGL-UVA"
+        html = build_report(serve=[a, b])
+        assert "Serving — DSP" in html and "Serving — DGL-UVA" in html
+
+    def test_no_metrics_hint(self):
+        payload = _serve_payload()
+        del payload["metrics"]
+        html = build_report(serve=payload)
+        assert "--metrics" in html
+
+
+class TestChaosSection:
+    def test_resilience_payload_flattened(self):
+        html = build_report(chaos=_chaos_payload())
+        assert "Chaos scenario matrix" in html
+        assert "DSP/straggler" in html
+        assert "SLO min" in html
+        assert "SLO minutes violated per scenario" in html
+
+    def test_flat_cell_list_accepted(self):
+        cells = [{"scenario": "s1", "mode": "serve", "status": "completed",
+                  "slo_minutes_violated": 0.25}]
+        html = build_report(chaos={"scenarios": cells})
+        assert "s1" in html
+
+
+class TestSafety:
+    def test_input_text_is_escaped(self):
+        payload = _serve_payload()
+        payload["system"] = '<script>alert(1)</script>'
+        html = build_report(
+            serve=payload,
+            trace_sections=[("<b>x</b>", "a & b < c")],
+        )
+        assert "<script>alert" not in html
+        assert "&lt;script&gt;" in html
+        assert "&lt;b&gt;" in html
+
+    def test_empty_report(self):
+        html = build_report()
+        assert "Nothing to report" in html
+        assert html.startswith("<!DOCTYPE html>")

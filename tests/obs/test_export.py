@@ -84,3 +84,50 @@ class TestTextExport:
 
     def test_empty_tracer(self):
         assert to_text(Tracer()) == ""
+
+
+class TestReadChromeTrace:
+    def test_round_trip_preserves_analyses(self, tmp_path):
+        """Spans, instants and counters survive write -> read with
+        their tracks and categories, so the breakdown analyses agree."""
+        from repro.obs import read_chrome_trace, stall_breakdown
+
+        path = tmp_path / "trace.json"
+        src = make_tracer()
+        write_chrome_trace(src, path)
+        rt = read_chrome_trace(path)
+        assert rt.end_time() == src.end_time()
+        spans = sorted((e.track, e.name, e.cat, e.start, e.end)
+                       for e in rt.spans())
+        assert ("sampler0-gpu0", "wait", "rendezvous-wait", 0.2, 0.8) in spans
+        assert ("trainer-gpu1", "train-op", "train", 1.0, 2.0) in spans
+        # counter names lose their track prefix again on the way back
+        counters = [(e.track, e.name, e.values) for e in rt.counters()]
+        assert ("gpu0-sm", "used", {"used": 128}) in counters
+        b1 = stall_breakdown(src, src.end_time(), 2)
+        b2 = stall_breakdown(rt, rt.end_time(), 2)
+        for a, b in zip(b1, b2):
+            assert a.busy == b.busy and a.stalls == b.stalls
+
+    def test_missing_file_raises_filenotfound(self, tmp_path):
+        import pytest
+
+        from repro.obs import read_chrome_trace
+
+        with pytest.raises(FileNotFoundError):
+            read_chrome_trace(tmp_path / "nope.json")
+
+    def test_corrupt_and_non_trace_raise_configerror(self, tmp_path):
+        import pytest
+
+        from repro.obs import read_chrome_trace
+        from repro.utils import ConfigError
+
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(ConfigError):
+            read_chrome_trace(bad)
+        nottrace = tmp_path / "nt.json"
+        nottrace.write_text('{"foo": 1}')
+        with pytest.raises(ConfigError):
+            read_chrome_trace(nottrace)
