@@ -20,7 +20,13 @@ Four microbenchmarks:
   serving pipeline, fast vs reference sampling path.
 
 plus ``sweep`` — a QPS-sweep ladder driven by the multi-core run
-executor (:mod:`repro.parallel`) against the pre-PR serial driver.
+executor (:mod:`repro.parallel`) against the pre-PR serial driver —
+and two cluster-era benchmarks:
+
+- ``chaos_scenario``  — a systems x scenarios resilience matrix through
+  the parallel executor vs cell-after-cell in one process;
+- ``multinode_epoch`` — a costed 2-server DSP epoch (hierarchical
+  partition + lowered CSP), fast vs reference sampling path.
 
 ``run_perf`` executes them and returns the ``BENCH_perf.json`` payload:
 per-benchmark wall-clock, batches/s, sampled-edges/s where meaningful,
@@ -62,7 +68,8 @@ from repro.sampling.ops import (
 #: bump when the payload schema changes
 SCHEMA_VERSION = 2
 
-BENCH_NAMES = ("csp_layer", "feature_load", "epoch", "serve_batch", "sweep")
+BENCH_NAMES = ("csp_layer", "feature_load", "epoch", "serve_batch", "sweep",
+               "chaos_scenario", "multinode_epoch")
 
 
 # ----------------------------------------------------------------------
@@ -458,12 +465,126 @@ def bench_sweep(quick: bool = False, clock="wall") -> dict:
     }
 
 
+# ----------------------------------------------------------------------
+# 6. chaos matrix — parallel executor vs cell-after-cell
+# ----------------------------------------------------------------------
+def bench_chaos_scenario(quick: bool = False, clock="wall") -> dict:
+    """A small resilience matrix: fan-out executor vs the serial loop.
+
+    *Before* runs each ``(system, scenario)`` cell in sequence in this
+    process — the pre-``repro chaos`` driver shape; *after* is the
+    shipped :func:`~repro.chaos.scenarios.resilience_report` with the
+    multi-core executor underneath.  Cells are pure functions of their
+    spec, so both paths produce the same outcomes.
+    """
+    from repro.chaos.scenarios import resilience_report, run_scenario
+    from repro.core import RunConfig
+    from repro.parallel import default_workers
+
+    tick = _make_clock(clock)
+    dataset = "tiny" if quick else "products"
+    max_batches = 2 if quick else 4
+    requests = 32 if quick else 64
+    scenarios = ["straggler", "net-degrade"]
+    systems = ["DSP"] if quick else ["DSP", "DGL-UVA"]
+    workers = default_workers(cap=2 if quick else 4)
+    cfg = RunConfig(
+        dataset=dataset,
+        num_gpus=2 if quick else 4,
+        batch_size=8,
+        hidden_dim=16,
+        fanout=(5, 3),
+    )
+
+    def run_before():
+        for system in systems:
+            for scenario in scenarios:
+                run_scenario(system, scenario, cfg,
+                             max_batches=max_batches, requests=requests)
+
+    def run_after():
+        resilience_report(systems, scenarios, cfg, max_batches=max_batches,
+                          requests=requests, workers=workers)
+
+    wall_before = _time_per_call(run_before, iters=1, clock=tick)
+    wall_after = _time_per_call(run_after, iters=1, clock=tick)
+    cells = len(systems) * len(scenarios)
+    return {
+        "params": {
+            "dataset": dataset,
+            "systems": systems,
+            "scenarios": scenarios,
+            "cells": cells,
+            "workers": workers,
+        },
+        "wall_s_before": wall_before,
+        "wall_s_after": wall_after,
+        "speedup": wall_before / wall_after,
+        "batches_per_s": cells / wall_after,
+        "cells_per_s": cells / wall_after,
+    }
+
+
+# ----------------------------------------------------------------------
+# 7. multi-node epoch — costed 2-server DSP epoch, fast vs reference
+# ----------------------------------------------------------------------
+def bench_multinode_epoch(quick: bool = False, clock="wall") -> dict:
+    """A costed 2-server DSP epoch through the cluster lowering path.
+
+    Same before/after contract as ``epoch`` — the chunked reference
+    sampler vs the flat fast path — but on a ``num_nodes=2`` system, so
+    every mini-batch additionally pays hierarchical-partition routing
+    and the intra/inter trace lowering (:mod:`repro.cluster.csp`).
+    """
+    from repro.core import RunConfig, build_system
+
+    tick = _make_clock(clock)
+    dataset = "tiny" if quick else "products"
+    batches = 2 if quick else 4
+    cfg = RunConfig(
+        dataset=dataset,
+        num_gpus=2 if quick else 4,
+        num_nodes=2,
+        batch_size=8 if quick else 32,
+        hidden_dim=16 if quick else 256,
+        fanout=(5, 3),
+        partitioner="ldg",
+    )
+    after = build_system("DSP", cfg)
+    before = build_system("DSP", cfg)
+    before.sampler.use_fast_path = False
+
+    wall_after = _time_per_call(
+        lambda: after.run_epoch(max_batches=batches, functional=False),
+        iters=1, clock=tick,
+    )
+    wall_before = _time_per_call(
+        lambda: before.run_epoch(max_batches=batches, functional=False),
+        iters=1, clock=tick,
+    )
+    return {
+        "params": {
+            "dataset": dataset,
+            "num_nodes": cfg.num_nodes,
+            "num_gpus": cfg.num_gpus,
+            "batch_size": cfg.batch_size,
+            "measured_batches": batches,
+        },
+        "wall_s_before": wall_before,
+        "wall_s_after": wall_after,
+        "speedup": wall_before / wall_after,
+        "batches_per_s": batches / wall_after,
+    }
+
+
 _BENCHES = {
     "csp_layer": bench_csp_layer,
     "feature_load": bench_feature_load,
     "epoch": bench_epoch,
     "serve_batch": bench_serve_batch,
     "sweep": bench_sweep,
+    "chaos_scenario": bench_chaos_scenario,
+    "multinode_epoch": bench_multinode_epoch,
 }
 
 
@@ -591,9 +712,11 @@ def format_perf(payload: dict) -> str:
 
 __all__ = [
     "BENCH_NAMES",
+    "bench_chaos_scenario",
     "bench_csp_layer",
     "bench_epoch",
     "bench_feature_load",
+    "bench_multinode_epoch",
     "bench_serve_batch",
     "bench_sweep",
     "diff_against_baseline",

@@ -63,6 +63,24 @@ class FeatureLoader:
         elif plan_cache is False:
             plan_cache = None
         self.plan_cache: PlanCache | None = plan_cache
+        #: the store the cached plans were computed against; plans are
+        #: placement-specific, so swapping the store invalidates them
+        self._planned_store = store
+
+    def rebind_store(self, store: CacheStore) -> None:
+        """Point the loader at a different store (replica failover /
+        placement change), invalidating every cached plan."""
+        self.store = store
+        self._check_placement()
+
+    def _check_placement(self) -> None:
+        """Invalidate plans if the store was swapped out from under the
+        cache — keyed plans encode the *old* layout's local/remote/cold
+        split and must never be served against the new one."""
+        if self.store is not self._planned_store:
+            if self.plan_cache is not None:
+                self.plan_cache.invalidate()
+            self._planned_store = self.store
 
     def _plan(self, g: int, req: np.ndarray, k: int) -> FeaturePlan:
         """The placement plan for one request block, cached when the
@@ -100,6 +118,7 @@ class FeatureLoader:
         each path served (``*_bytes`` keys; the obs layer exports them
         as cache counters).
         """
+        self._check_placement()
         k = self.store.num_gpus
         if len(requests_per_gpu) != k:
             raise ConfigError("need one request array per GPU")

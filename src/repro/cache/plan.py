@@ -20,9 +20,10 @@ epochs (which rarely repeat a block) cannot grow it without bound.
 The cached plan is exactly the data the un-cached path computes, so
 loader outputs are bit-identical with the cache on or off — that
 equivalence is part of the test suite (``tests/cache/test_plan_cache``).
-The store's placement must be static (true of every
-:class:`~repro.cache.store.CacheStore` here); call :meth:`PlanCache.clear`
-if a store is ever mutated.
+Plans are only valid for the placement they were computed against: when
+a loader's store is swapped (replica failover, topology change), the
+loader calls :meth:`PlanCache.invalidate` so stale plans keyed to the
+old layout can never be served (``tests/cache/test_plan_invalidation``).
 """
 
 from __future__ import annotations
@@ -75,6 +76,7 @@ class PlanCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.invalidations = 0
 
     @staticmethod
     def key(gpu: int, request: np.ndarray) -> tuple[int, bytes]:
@@ -114,6 +116,19 @@ class PlanCache:
         self._costs.clear()
         self._nbytes = 0
 
+    def invalidate(self) -> None:
+        """Placement changed: drop every plan and count the event.
+
+        Called by :class:`~repro.cache.loader.FeatureLoader` whenever
+        its store is rebound (replica failover, topology change) — a
+        plan computed against the old layout would silently misroute
+        the local/remote/cold split, so none may survive.  Counters
+        other than ``invalidations`` are preserved: the cache keeps
+        describing this run, it just starts cold again.
+        """
+        self.clear()
+        self.invalidations += 1
+
     def reset(self) -> None:
         """Forget every plan AND zero the counters, returning the cache
         to its freshly-built state.  Used between serve runs so hit/miss
@@ -123,6 +138,7 @@ class PlanCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.invalidations = 0
 
     def stats(self) -> dict:
         """Counters for the obs layer: hits, misses, hit rate, size."""
@@ -131,6 +147,7 @@ class PlanCache:
             "hits": self.hits,
             "misses": self.misses,
             "evictions": self.evictions,
+            "invalidations": self.invalidations,
             "entries": len(self._plans),
             "nbytes": self._nbytes,
             "hit_rate": self.hits / total if total else 0.0,

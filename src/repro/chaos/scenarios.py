@@ -96,6 +96,18 @@ def _cache_peer_loss(h: float, k: int) -> FaultPlan:
     return FaultPlan((CachePeerLoss(0.0, gpu=0),))
 
 
+def _net_degrade(h: float, k: int) -> FaultPlan:
+    return FaultPlan((
+        LinkDegrade(0.1 * h, link="network", duration=0.5 * h, factor=4.0),
+    ))
+
+
+def _net_flap(h: float, k: int) -> FaultPlan:
+    return FaultPlan((
+        LinkFlap(0.3 * h, link="network", duration=0.15 * h),
+    ))
+
+
 #: the scenario registry, keyed by CLI name
 SCENARIOS: dict[str, Scenario] = {
     s.name: s
@@ -114,6 +126,12 @@ SCENARIOS: dict[str, Scenario] = {
                  "one GPU stops joining collectives for half the epoch"),
         Scenario("cache-peer-loss", "serve", _cache_peer_loss,
                  "GPU 0's cache shard is lost; serving fails over to UVA"),
+        Scenario("net-degrade", "train", _net_degrade,
+                 "the cross-server NIC runs 4x slower for half the epoch"
+                 " (no-op on a single server)"),
+        Scenario("net-flap", "serve", _net_flap,
+                 "a cross-server network blackout mid-run"
+                 " (no-op on a single server)"),
     )
 }
 
@@ -159,7 +177,8 @@ def _run_train_scenario(system_name: str, sc: Scenario, config,
     baseline_sys.run_epoch(max_batches=max_batches, functional=False,
                            chaos=base_chaos)
     base = baseline_sys.last_pipeline_result
-    plan = sc.build(base.epoch_time, config.num_gpus)
+    # scenarios scale over the whole cluster, not one server's GPUs
+    plan = sc.build(base.epoch_time, config.total_gpus)
 
     from repro.metrics import MetricsRegistry
 
@@ -250,7 +269,7 @@ def _run_serve_scenario(system_name: str, sc: Scenario, config,
     base, base_inv, base_slo, _ = _serve_pass(
         system_name, config, serve_cfg, workload, qps, cc, FaultPlan()
     )
-    plan = sc.build(base.elapsed, config.num_gpus)
+    plan = sc.build(base.elapsed, config.total_gpus)
     outcome = "completed"
     report, inv, slo, registry = None, None, None, None
     try:

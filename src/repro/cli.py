@@ -35,6 +35,12 @@ def _fail(message: str) -> int:
 def _add_workload_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--dataset", default="products", choices=sorted(DATASET_SPECS))
     p.add_argument("--gpus", type=int, default=8)
+    p.add_argument("--num-nodes", type=int, default=1,
+                   help="servers in the cluster (default 1; >1 needs a "
+                        "DSP-family system, see docs/cluster.md)")
+    p.add_argument("--nic", default="ethernet",
+                   choices=["ethernet", "infiniband"],
+                   help="cross-server NIC model (default ethernet)")
     p.add_argument("--model", default="sage", choices=["sage", "gcn", "gat"])
     p.add_argument("--hidden", type=int, default=256)
     p.add_argument("--batch-size", type=int, default=32)
@@ -48,6 +54,8 @@ def _config(args) -> RunConfig:
     return RunConfig(
         dataset=args.dataset,
         num_gpus=args.gpus,
+        num_nodes=args.num_nodes,
+        nic=args.nic,
         model=args.model,
         hidden_dim=args.hidden,
         batch_size=args.batch_size,
@@ -179,8 +187,17 @@ def cmd_serve(args) -> int:
         seed=args.seed,
     )
     systems = [s for s in args.systems.split(",") if s]
+    if args.num_replicas > 1 and args.trace_base:
+        return _fail("--trace-base is ambiguous with --num-replicas > 1; "
+                     "trace a single replica instead")
     workload = None
-    payload: dict = {"slo_ms": args.slo_ms, "systems": {}}
+    payload: dict = {
+        "slo_ms": args.slo_ms,
+        "num_nodes": args.num_nodes,
+        "num_replicas": args.num_replicas,
+        "routing": args.routing,
+        "systems": {},
+    }
     slo_col = f" {'SLO min':>8}" if args.metrics else ""
     print(f"{'system':<10} {'offered':>10} {'p50':>10} {'p99':>10} "
           f"{'goodput':>10} {'shed':>6} {'batch':>6}{slo_col}")
@@ -196,15 +213,26 @@ def cmd_serve(args) -> int:
             from repro.obs import run_trace_path
 
             trace_base = run_trace_path(args.trace_base, name)
-        points = qps_sweep(
-            system, workload, qps_values, serve_cfg,
-            workers=args.workers, trace_base=trace_base,
-            metrics=args.metrics,
-            metrics_window_s=(
-                args.metrics_window_ms * 1e-3
-                if args.metrics_window_ms is not None else None
-            ),
+        metrics_window_s = (
+            args.metrics_window_ms * 1e-3
+            if args.metrics_window_ms is not None else None
         )
+        if args.num_replicas > 1:
+            from repro.cluster import RouterConfig, replicated_qps_sweep
+
+            points = replicated_qps_sweep(
+                system, workload, qps_values,
+                router=RouterConfig(num_replicas=args.num_replicas,
+                                    policy=args.routing, seed=args.seed),
+                config=serve_cfg, workers=args.workers,
+                metrics=args.metrics, metrics_window_s=metrics_window_s,
+            )
+        else:
+            points = qps_sweep(
+                system, workload, qps_values, serve_cfg,
+                workers=args.workers, trace_base=trace_base,
+                metrics=args.metrics, metrics_window_s=metrics_window_s,
+            )
         for p in points:
             r = p.report
             line = (f"{name:<10} {p.qps:>10.0f} {fmt_time(r.p50):>10} "
@@ -348,6 +376,15 @@ def cmd_chaos(args) -> int:
 
     cfg = _config(args)
     systems = [s for s in args.systems.split(",") if s]
+    if cfg.num_nodes > 1:
+        multinode = [s for s in systems if s.startswith("DSP")]
+        dropped = sorted(set(systems) - set(multinode))
+        if dropped:
+            print(f"note: skipping single-server systems on "
+                  f"{cfg.num_nodes} nodes: {', '.join(dropped)}")
+        systems = multinode
+        if not systems:
+            return _fail("no system in --systems supports --num-nodes > 1")
     scenarios = (
         [s for s in args.scenarios.split(",") if s]
         if args.scenarios else sorted(SCENARIOS)
@@ -556,6 +593,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="audit every point with the simulation "
                         "invariant checker (report is unchanged; a "
                         "broken simulation raises instead)")
+    p.add_argument("--num-replicas", type=int, default=1,
+                   help="serving replicas behind the cluster router "
+                        "(default 1 = plain serve_once path)")
+    p.add_argument("--routing", default="affinity",
+                   choices=["random", "least-loaded", "affinity"],
+                   help="request routing policy across replicas "
+                        "(default affinity; see docs/cluster.md)")
     p.add_argument("--workers", type=int, default=1,
                    help="worker processes, one task per sweep point "
                         "(default 1 = serial; results are bit-identical)")
@@ -581,8 +625,8 @@ def build_parser() -> argparse.ArgumentParser:
                    help="small datasets / few iterations (CI smoke)")
     p.add_argument("--benches", default="",
                    help="comma-separated subset of: csp_layer, "
-                        "feature_load, epoch, serve_batch, sweep "
-                        "(default all)")
+                        "feature_load, epoch, serve_batch, sweep, "
+                        "chaos_scenario, multinode_epoch (default all)")
     p.add_argument("--workers", type=int, default=1,
                    help="worker processes, one task per benchmark "
                         "(default 1 = serial)")

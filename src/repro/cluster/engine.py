@@ -1,0 +1,89 @@
+"""Cost engine specialization for multi-server clusters.
+
+The base :class:`~repro.core.cost.CostEngine` already prices every op
+correctly on the block-diagonal cluster topology *except* host work: it
+assumes one host CPU serving all GPUs, but a cluster has one host per
+server and they work concurrently.  This subclass scopes host-work
+contention to each server and routes :class:`NetworkTransfer` ops
+through the cluster's NIC spec (so ethernet vs infiniband presets and
+chaos ``LinkDegrade(link="network")`` factors apply).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.cost import CostEngine, OpCost
+from repro.hw.network import ClusterTopology
+from repro.sampling.ops import HostWork
+from repro.utils.errors import ConfigError
+
+
+class ClusterCostEngine(CostEngine):
+    """A :class:`CostEngine` spanning ``S`` servers.
+
+    ``cluster.topology`` must be the block-diagonal
+    ``cluster_topology.flat()`` view; the NIC becomes the engine's
+    ``network`` spec so NetworkTransfer pricing uses the configured
+    preset.  With ``num_servers == 1`` this is behaviourally identical
+    to the base engine (the host override degenerates to one CPU).
+    """
+
+    def __init__(self, cluster, cluster_topology: ClusterTopology,
+                 launch_scale: float = 1.0, backend: str = "nccl"):
+        if cluster.num_gpus != cluster_topology.num_gpus:
+            raise ConfigError(
+                f"cluster has {cluster.num_gpus} GPUs but the topology "
+                f"describes {cluster_topology.num_gpus}"
+            )
+        if backend != "nccl":
+            raise ConfigError(
+                "multi-server clusters support only the nccl backend "
+                "(nvshmem needs a full NVLink mesh)"
+            )
+        super().__init__(cluster, launch_scale=launch_scale,
+                         network=cluster_topology.nic, backend=backend)
+        self.cluster_topology = cluster_topology
+        self.num_servers = cluster_topology.num_servers
+
+    def _host(self, op: HostWork) -> OpCost:
+        """Each server's host CPU serves only its own GPUs; the stage
+        lasts until the busiest host finishes (hosts run concurrently)."""
+        cpu = self.cluster.cpu
+        if op.kind == "sample":
+            rate = cpu.num_threads * cpu.sample_rate_per_thread
+        elif op.kind == "gather":
+            rate = cpu.gather_rate
+        else:
+            raise ConfigError(f"unknown host work kind {op.kind!r}")
+        tasks = np.asarray(op.tasks, dtype=np.float64)
+        if tasks.shape != (self.k,):
+            raise ConfigError(
+                f"host work lists {tasks.shape} tasks for {self.k} GPUs"
+            )
+        per_server = tasks.reshape(
+            self.num_servers, self.cluster_topology.gpus_per_server
+        ).sum(axis=1)
+        worst = float(per_server.max())
+        dur = worst / rate if worst else 0.0
+        return OpCost(
+            label=op.label,
+            per_gpu=np.zeros(self.k),
+            stage=dur,
+            threads=1,
+            host=True,
+        )
+
+    def degraded(self, nvlink_factor: float = 1.0, pcie_factor: float = 1.0,
+                 network_factor: float = 1.0) -> "ClusterCostEngine":
+        """A what-if engine with slowed links (capacity planning)."""
+        from dataclasses import replace
+
+        topo = self.cluster_topology.degraded(
+            nvlink_factor, pcie_factor, network_factor
+        )
+        return ClusterCostEngine(
+            replace(self.cluster, topology=topo.flat()),
+            topo,
+            launch_scale=self.launch_scale,
+        )

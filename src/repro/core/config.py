@@ -54,6 +54,13 @@ class RunConfig:
     #: per-GPU topology budget in bytes; None = cache the whole patch
     #: if it fits (Fig 10 sweeps this against feature_cache_bytes)
     topology_cache_bytes: float | None = None
+    #: servers in the cluster; ``num_gpus`` counts GPUs *per server*, so
+    #: the total GPU count is ``num_nodes * num_gpus``.  Only DSP-family
+    #: systems support ``num_nodes > 1`` (see ``docs/cluster.md``)
+    num_nodes: int = 1
+    #: cross-server NIC preset for multi-node runs: "ethernet" (100 GbE)
+    #: or "infiniband" (HDR); ignored when ``num_nodes == 1``
+    nic: str = "ethernet"
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -73,6 +80,20 @@ class RunConfig:
             raise ConfigError(f"unknown partitioner {self.partitioner!r}")
         if self.sampler_workers < 1 or self.loader_workers < 1:
             raise ConfigError("worker counts must be positive")
+        if self.num_nodes < 1:
+            raise ConfigError("num_nodes must be positive")
+        if self.nic not in ("ethernet", "infiniband"):
+            raise ConfigError(f"unknown nic {self.nic!r}")
+        if self.num_nodes > 1 and self.comm_backend == "nvshmem":
+            raise ConfigError(
+                "nvshmem needs a full NVLink mesh; multi-node clusters "
+                "have no cross-server NVLink — use comm_backend='nccl'"
+            )
+
+    @property
+    def total_gpus(self) -> int:
+        """GPUs across the whole cluster (``num_nodes * num_gpus``)."""
+        return self.num_nodes * self.num_gpus
 
     @property
     def num_layers(self) -> int:

@@ -70,21 +70,26 @@ class TrainingSystem:
     name = "base"
     allocator = AllocatorKind.POOLED
     pipelined = False
+    #: whether the architecture can span multiple servers; only the
+    #: DSP family lowers its collectives hierarchically (docs/cluster.md)
+    multinode = False
 
     def __init__(self, config: RunConfig):
         self.config = config
+        if config.num_nodes > 1 and not self.multinode:
+            raise ConfigError(
+                f"{self.name} runs on a single server; only DSP-family "
+                f"systems support num_nodes > 1"
+            )
         self.base_dataset = load_dataset(config.dataset)
-        self.cluster = Cluster.dgx1(
-            config.num_gpus, scale=self.base_dataset.spec.scale
-        )
+        #: the cluster-level topology (NICs + per-server meshes) when
+        #: num_nodes > 1, else None — _make_cluster fills it in
+        self.cluster_topology = None
+        self.cluster = self._make_cluster()
         # per-batch constant overheads shrink with the batch (see CostEngine)
         self.batch_shrink = config.batch_size / 1024.0
-        self.engine = CostEngine(
-            self.cluster,
-            launch_scale=self.batch_shrink,
-            backend=config.comm_backend,
-        )
-        self.k = config.num_gpus
+        self.engine = self._make_engine()
+        self.k = config.total_gpus
         self.csp_config = CSPConfig(
             fanout=tuple(config.fanout),
             scheme=config.scheme,
@@ -109,6 +114,52 @@ class TrainingSystem:
         self.batches_seen = 0
 
     # -- architecture hooks (subclasses override) -----------------------
+    def _make_cluster(self) -> Cluster:
+        """The simulated hardware.  A single node is the paper's DGX-1;
+        ``num_nodes > 1`` spans S block-diagonal copies joined by NICs."""
+        cfg = self.config
+        scale = self.base_dataset.spec.scale
+        if cfg.num_nodes == 1:
+            return Cluster.dgx1(cfg.num_gpus, scale=scale)
+        from repro.hw.interconnect import Topology
+        from repro.hw.network import ClusterTopology, NICSpec, \
+            multi_server_cluster
+
+        self.cluster_topology = ClusterTopology(
+            num_servers=cfg.num_nodes,
+            server=Topology.dgx1(cfg.num_gpus),
+            nic=NICSpec.preset(cfg.nic),
+        )
+        return multi_server_cluster(self.cluster_topology, scale=scale)
+
+    def _make_engine(self) -> CostEngine:
+        """The op-pricing engine; clusters get per-server host CPUs and
+        the configured NIC as the network link."""
+        cfg = self.config
+        if cfg.num_nodes == 1:
+            return CostEngine(
+                self.cluster,
+                launch_scale=self.batch_shrink,
+                backend=cfg.comm_backend,
+            )
+        from repro.cluster.engine import ClusterCostEngine
+
+        return ClusterCostEngine(
+            self.cluster,
+            self.cluster_topology,
+            launch_scale=self.batch_shrink,
+            backend=cfg.comm_backend,
+        )
+
+    def _lower(self, trace: OpTrace) -> OpTrace:
+        """Rewrite single-server collectives into hierarchical cluster
+        form before pricing; the identity (same object) on one node."""
+        if self.config.num_nodes == 1:
+            return trace
+        from repro.cluster.csp import lower_trace
+
+        return lower_trace(trace, self.config.num_nodes, self.config.num_gpus)
+
     def _prepare(self) -> None:
         raise NotImplementedError
 
@@ -118,10 +169,11 @@ class TrainingSystem:
 
     def _sample(self, seeds_per_gpu) -> tuple[list[MiniBatchSample], OpTrace]:
         samples, trace, _ = self.sampler.sample(seeds_per_gpu, self.csp_config)
-        return samples, trace
+        return samples, self._lower(trace)
 
     def _load(self, requests) -> tuple[list[np.ndarray], OpTrace, dict]:
-        return self.loader.load(requests)
+        feats, trace, stats = self.loader.load(requests)
+        return feats, self._lower(trace), stats
 
     def _batch_overhead(self) -> float:
         """Per-batch software overhead (allocator costs, §7.2)."""
@@ -179,6 +231,7 @@ class TrainingSystem:
         trace = OpTrace()
         trace.add(LocalKernel("compute", flops, label="train-compute"))
         trace.add(AllReduce(self.grad_nbytes, label="grad-allreduce"))
+        trace = self._lower(trace)
         mean_loss = sum(losses) / sum(weights) if weights else float("nan")
         mean_acc = sum(accs) / sum(weights) if weights else float("nan")
         return trace, mean_loss, mean_acc
@@ -361,11 +414,23 @@ class DSP(TrainingSystem):
 
     name = "DSP"
     pipelined = True
+    multinode = True
 
     def _prepare(self) -> None:
         cfg = self.config
         ds = self.base_dataset
-        if cfg.partitioner == "hash":
+        self.hierarchy = None
+        if cfg.num_nodes > 1:
+            # two-level cut: cross-server edges are minimized first so
+            # the slow network tier carries the least shuffle traffic
+            from repro.cluster.partition import hierarchical_partition
+
+            self.hierarchy = hierarchical_partition(
+                ds.graph, cfg.num_nodes, cfg.num_gpus,
+                method=cfg.partitioner, seed=cfg.seed,
+            )
+            partition = self.hierarchy.gpu
+        elif cfg.partitioner == "hash":
             from repro.graph.partition import hash_partition
 
             partition = hash_partition(ds.num_nodes, self.k, seed=cfg.seed)
@@ -423,7 +488,7 @@ class DSP(TrainingSystem):
         samples, trace, _ = self.sampler.sample(seeds_per_gpu, self.csp_config)
         if self._has_cold_topo:
             self._add_cold_topology_ops(samples, trace)
-        return samples, trace
+        return samples, self._lower(trace)
 
     def _add_cold_topology_ops(self, samples, trace: OpTrace) -> None:
         """UVA reads for adjacency lists that did not fit in GPU memory.

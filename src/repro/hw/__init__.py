@@ -17,10 +17,18 @@ allocator.  This package models exactly those facts:
 - :mod:`~repro.hw.kernels` — kernel duration model with thread
   saturation and launch overhead.
 - :mod:`~repro.hw.memory` — GPU memory tracking and allocator models.
+- :mod:`~repro.hw.network` — cross-server NICs (ethernet/IB α–β costs)
+  and multi-server cluster topologies with shared-NIC contention.
 """
 
 from repro.hw.devices import GPUSpec, CPUSpec, Cluster
 from repro.hw.interconnect import Topology, LinkKind
+from repro.hw.network import (
+    NICSpec,
+    ClusterTopology,
+    multi_server_cluster,
+    NIC_PRESETS,
+)
 from repro.hw.comm import CommCost, CostModel, UVA_REQUEST_PAYLOAD, UVA_REQUEST_TOTAL
 from repro.hw.kernels import KernelSpec, kernel_duration
 from repro.hw.memory import DeviceMemory, AllocatorKind, alloc_overhead
@@ -31,6 +39,10 @@ __all__ = [
     "Cluster",
     "Topology",
     "LinkKind",
+    "NICSpec",
+    "ClusterTopology",
+    "multi_server_cluster",
+    "NIC_PRESETS",
     "CommCost",
     "CostModel",
     "UVA_REQUEST_PAYLOAD",

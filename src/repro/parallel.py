@@ -204,7 +204,27 @@ def _chaos_scenario(spec: RunSpec):
     )
 
 
+def _cluster_point(spec: RunSpec):
+    """One QPS point served through the cluster router -> ServeReport.
+
+    Pure function of the spec: the router is deterministic and every
+    replica pass re-seeds the sampler, so the merged report is
+    bit-identical whichever worker executes the point.
+    """
+    from repro.cluster.serve import serve_replicated
+
+    p = spec.payload
+    system = _shared_system(p["system"], p["config"])
+    return serve_replicated(
+        system, p["workload"], p["qps"], router=p.get("router"),
+        config=p.get("serve_config"),
+        metrics=p.get("metrics", False),
+        metrics_window_s=p.get("metrics_window_s"),
+    )
+
+
 register_handler("serve_point", _serve_point)
+register_handler("cluster_point", _cluster_point)
 register_handler("epoch", _epoch)
 register_handler("perf_bench", _perf_bench)
 register_handler("chaos_scenario", _chaos_scenario)

@@ -414,6 +414,11 @@ class GNNServer:
         if offered_qps is None:
             span = max(r.arrival for r in requests)
             offered_qps = len(requests) / span if span > 0 else float("nan")
+        #: per-request records / batch count / functional accuracy of the
+        #: latest run, kept for replica merging (repro.cluster.serve)
+        self.last_records = ordered
+        self.last_num_batches = batch_count[0]
+        self.last_accuracy = accuracy
         return build_report(
             system.name, offered_qps, cfg.slo_s, ordered, batch_count[0],
             accuracy=accuracy,

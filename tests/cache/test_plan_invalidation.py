@@ -1,0 +1,95 @@
+"""Plan-cache invalidation on placement change (store swap).
+
+A cached :class:`~repro.cache.plan.FeaturePlan` encodes the placement
+it was computed against — the local/remote/cold split and per-holder
+rows.  If the loader's store is swapped (replica failover, topology
+change) and a stale plan were served, the byte matrices would describe
+the *old* layout.  These tests pin the invalidation hook and the
+regression the hook prevents.
+"""
+
+import numpy as np
+
+from repro.cache.loader import FeatureLoader
+from repro.cache.store import PartitionedCache, ReplicatedCache
+
+
+def _setup(num_nodes: int = 64, k: int = 2):
+    rng = np.random.default_rng(0)
+    features = rng.normal(size=(num_nodes, 4)).astype(np.float32)
+    offsets = np.linspace(0, num_nodes, k + 1).astype(np.int64)
+    hot = np.arange(num_nodes)
+    store_a = PartitionedCache(offsets, hot, budget_nodes=num_nodes // 4)
+    store_b = ReplicatedCache(num_nodes, k, hot, budget_nodes=8)
+    requests = [rng.integers(0, num_nodes, size=16) for _ in range(k)]
+    return features, store_a, store_b, requests
+
+
+class TestInvalidation:
+    def test_rebind_store_invalidates(self):
+        features, store_a, store_b, requests = _setup()
+        loader = FeatureLoader(features, store_a)
+        loader.load(requests)
+        assert loader.plan_cache.stats()["invalidations"] == 0
+        assert len(loader.plan_cache) > 0
+        loader.rebind_store(store_b)
+        assert loader.plan_cache.stats()["invalidations"] == 1
+        assert len(loader.plan_cache) == 0
+
+    def test_direct_assignment_caught_on_next_load(self):
+        """Swapping ``loader.store`` without the helper must still
+        invalidate before any plan is served."""
+        features, store_a, store_b, requests = _setup()
+        loader = FeatureLoader(features, store_a)
+        loader.load(requests)
+        loader.store = store_b
+        loader.load(requests)
+        assert loader.plan_cache.stats()["invalidations"] == 1
+
+    def test_stale_plans_never_served(self):
+        """The regression the hook prevents: after a store swap the
+        loader's traces must match a fresh loader on the new store."""
+        features, store_a, store_b, requests = _setup()
+        loader = FeatureLoader(features, store_a)
+        loader.load(requests)  # warm plans against store A
+        loader.rebind_store(store_b)
+        _, trace_swapped, stats_swapped = loader.load(requests)
+
+        fresh = FeatureLoader(features, store_b)
+        _, trace_fresh, stats_fresh = fresh.load(requests)
+        assert stats_swapped == stats_fresh
+        group_a = next(iter(trace_swapped))
+        group_b = next(iter(trace_fresh))
+        for branch_a, branch_b in zip(group_a.branches, group_b.branches):
+            for op_a, op_b in zip(branch_a, branch_b):
+                if hasattr(op_a, "matrix"):
+                    assert np.array_equal(op_a.matrix, op_b.matrix)
+
+    def test_same_store_never_invalidates(self):
+        features, store_a, _, requests = _setup()
+        loader = FeatureLoader(features, store_a)
+        for _ in range(3):
+            loader.load(requests)
+        stats = loader.plan_cache.stats()
+        assert stats["invalidations"] == 0
+        assert stats["hits"] > 0
+
+    def test_invalidate_preserves_counters(self):
+        from repro.cache.plan import PlanCache
+
+        cache = PlanCache()
+        key = PlanCache.key(0, np.arange(4))
+        assert cache.lookup(key) is None  # one miss
+        cache.invalidate()
+        stats = cache.stats()
+        assert stats["invalidations"] == 1
+        assert stats["misses"] == 1  # history preserved
+        cache.reset()
+        assert cache.stats()["invalidations"] == 0
+
+    def test_disabled_cache_tolerates_swap(self):
+        features, store_a, store_b, requests = _setup()
+        loader = FeatureLoader(features, store_a, plan_cache=None)
+        loader.load(requests)
+        loader.rebind_store(store_b)
+        loader.load(requests)  # must not raise
