@@ -1,0 +1,31 @@
+"""Perf microbenchmark: raw event-dispatch throughput of the engine.
+
+Wall-clock (not simulated) time of the bucketed batch-dispatch
+scheduler vs the retained ``use_heap_scheduler=True`` heap core on the
+same producer/consumer + timer-storm workload; the benchmark asserts
+the two cores agree on the final clock and event count before timing.
+``REPRO_BENCH_QUICK=1`` shrinks the workload.  Run ``repro perf`` for
+the JSON trajectory (``BENCH_perf.json``); see ``docs/performance.md``.
+"""
+
+from repro.bench.harness import fmt_table, quick_mode
+from repro.bench.perf import bench_engine_core
+
+
+def test_engine_core_dispatch(emit):
+    r = bench_engine_core(quick=quick_mode())
+    emit(fmt_table(
+        "perf: engine core event dispatch (wall-clock)",
+        ["before", "after", "speedup", "kEv/s"],
+        [("engine", [
+            f"{r['wall_s_before'] * 1e3:.2f}ms",
+            f"{r['wall_s_after'] * 1e3:.2f}ms",
+            f"{r['speedup']:.2f}x",
+            f"{r['events_per_s'] / 1e3:.0f}",
+        ])],
+    ))
+    assert r["wall_s_after"] > 0 and r["wall_s_before"] > 0
+    assert r["events_per_s"] > 0
+    # the acceptance bar is 2x on the full-size bench; keep a safety
+    # margin against machine noise (quick mode is fixed-cost dominated)
+    assert r["speedup"] > (1.0 if quick_mode() else 1.5)

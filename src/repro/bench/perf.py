@@ -26,7 +26,14 @@ and two cluster-era benchmarks:
 - ``chaos_scenario``  — a systems x scenarios resilience matrix through
   the parallel executor vs cell-after-cell in one process;
 - ``multinode_epoch`` — a costed 2-server DSP epoch (hierarchical
-  partition + lowered CSP), fast vs reference sampling path.
+  partition + lowered CSP), fast vs reference sampling path;
+
+and one engine-core benchmark:
+
+- ``engine_core``     — raw event-dispatch throughput (events/s) of the
+  simulator: the bucketed batch-dispatch scheduler vs the retained
+  ``use_heap_scheduler=True`` heap core, same workload, identical
+  event counts and final clock asserted.
 
 ``run_perf`` executes them and returns the ``BENCH_perf.json`` payload:
 per-benchmark wall-clock, batches/s, sampled-edges/s where meaningful,
@@ -69,7 +76,7 @@ from repro.sampling.ops import (
 SCHEMA_VERSION = 2
 
 BENCH_NAMES = ("csp_layer", "feature_load", "epoch", "serve_batch", "sweep",
-               "chaos_scenario", "multinode_epoch")
+               "chaos_scenario", "multinode_epoch", "engine_core")
 
 
 # ----------------------------------------------------------------------
@@ -100,6 +107,23 @@ def _time_per_call(fn, iters: int, warmup: int = 1,
     for _ in range(iters):
         fn()
     return (clock() - t0) / iters
+
+
+def _on_legacy_engine(fn):
+    """Call ``fn`` with the pre-PR heap scheduler selected.
+
+    The *before* side of the simulation-driven benchmarks replays the
+    full seed stack — reference sampling path, plan cache off, **and**
+    the legacy heap event core (simulators are constructed per run, so
+    the ``REPRO_HEAP_SCHEDULER`` switch takes effect inside ``fn``).
+    """
+    import os
+
+    os.environ["REPRO_HEAP_SCHEDULER"] = "1"
+    try:
+        return fn()
+    finally:
+        os.environ.pop("REPRO_HEAP_SCHEDULER", None)
 
 
 def _build_sampler(dataset: str, num_gpus: int, seed: int = 0):
@@ -288,7 +312,12 @@ def bench_feature_load(quick: bool = False, clock="wall") -> dict:
 # 3. full epoch — costed DSP epoch, fast vs reference sampling path
 # ----------------------------------------------------------------------
 def bench_epoch(quick: bool = False, clock="wall") -> dict:
-    """A costed (non-functional) DSP epoch end to end."""
+    """A costed (non-functional) DSP epoch end to end.
+
+    *Before* replays the seed stack: the chunked reference sampling
+    path on the legacy heap event core; *after* is the shipped path
+    (flat-batch CSP on the bucketed batch-dispatch core).
+    """
     from repro.core import RunConfig, build_system
 
     tick = _make_clock(clock)
@@ -309,7 +338,9 @@ def bench_epoch(quick: bool = False, clock="wall") -> dict:
         iters=1, clock=tick,
     )
     wall_before = _time_per_call(
-        lambda: before.run_epoch(max_batches=batches, functional=False),
+        lambda: _on_legacy_engine(
+            lambda: before.run_epoch(max_batches=batches, functional=False)
+        ),
         iters=1, clock=tick,
     )
     return {
@@ -333,10 +364,11 @@ def bench_serve_batch(quick: bool = False, clock="wall") -> dict:
     """One ``serve_once`` point: event loop + batcher + CSP + loader.
 
     *Before* is the seed implementation of the serving hot path — the
-    chunked reference sampler and a plan-cache-free loader; *after* is
-    the shipped path (flat-batch CSP + plan-cached feature loading).
-    The warmup run populates the plan cache, so the measured run sees
-    the hit rate a steady-state serving process sees.
+    chunked reference sampler, a plan-cache-free loader, and the
+    legacy heap event core; *after* is the shipped path (flat-batch
+    CSP + plan-cached feature loading on the bucketed batch-dispatch
+    core).  The warmup run populates the plan cache, so the measured
+    run sees the hit rate a steady-state serving process sees.
     """
     from repro.core import RunConfig, build_system
     from repro.serve import ServeConfig, WorkloadConfig, make_workload, serve_once
@@ -368,8 +400,10 @@ def bench_serve_batch(quick: bool = False, clock="wall") -> dict:
     system.sampler.use_fast_path = False
     system.loader.plan_cache = None
     wall_before = _time_per_call(
-        lambda: serve_once(system, workload, qps, serve_cfg), iters=1,
-        clock=tick,
+        lambda: _on_legacy_engine(
+            lambda: serve_once(system, workload, qps, serve_cfg)
+        ),
+        iters=1, clock=tick,
     )
     system.sampler.use_fast_path = True
     report = serve_once(system, workload, qps, serve_cfg)
@@ -399,7 +433,8 @@ def bench_sweep(quick: bool = False, clock="wall") -> dict:
     cache vs the seed's serial point-after-point driver.
 
     *Before* replays the pre-PR driver: one system, plan cache off,
-    one ``serve_once`` per point in sequence.  *After* is the shipped
+    the legacy heap event core, one ``serve_once`` per point in
+    sequence.  *After* is the shipped
     ``qps_sweep(workers=N)`` where N is capped by this machine's CPU
     count — on a multi-core host the points overlap across cores; the
     recorded ``params.workers``/``params.cpu_count`` say what actually
@@ -436,8 +471,9 @@ def bench_sweep(quick: bool = False, clock="wall") -> dict:
     )
 
     def run_before():
-        for q in ladder:
-            serve_once(before_sys, workload, q, serve_cfg)
+        _on_legacy_engine(lambda: [
+            serve_once(before_sys, workload, q, serve_cfg) for q in ladder
+        ])
 
     after_sys = build_system("DSP", cfg)
 
@@ -472,8 +508,9 @@ def bench_chaos_scenario(quick: bool = False, clock="wall") -> dict:
     """A small resilience matrix: fan-out executor vs the serial loop.
 
     *Before* runs each ``(system, scenario)`` cell in sequence in this
-    process — the pre-``repro chaos`` driver shape; *after* is the
-    shipped :func:`~repro.chaos.scenarios.resilience_report` with the
+    process on the legacy heap event core — the pre-``repro chaos``
+    driver shape; *after* is the shipped
+    :func:`~repro.chaos.scenarios.resilience_report` with the
     multi-core executor underneath.  Cells are pure functions of their
     spec, so both paths produce the same outcomes.
     """
@@ -497,10 +534,13 @@ def bench_chaos_scenario(quick: bool = False, clock="wall") -> dict:
     )
 
     def run_before():
-        for system in systems:
-            for scenario in scenarios:
-                run_scenario(system, scenario, cfg,
-                             max_batches=max_batches, requests=requests)
+        def cells():
+            for system in systems:
+                for scenario in scenarios:
+                    run_scenario(system, scenario, cfg,
+                                 max_batches=max_batches,
+                                 requests=requests)
+        _on_legacy_engine(cells)
 
     def run_after():
         resilience_report(systems, scenarios, cfg, max_batches=max_batches,
@@ -532,7 +572,8 @@ def bench_multinode_epoch(quick: bool = False, clock="wall") -> dict:
     """A costed 2-server DSP epoch through the cluster lowering path.
 
     Same before/after contract as ``epoch`` — the chunked reference
-    sampler vs the flat fast path — but on a ``num_nodes=2`` system, so
+    sampler on the heap event core vs the flat fast path on the
+    bucketed core — but on a ``num_nodes=2`` system, so
     every mini-batch additionally pays hierarchical-partition routing
     and the intra/inter trace lowering (:mod:`repro.cluster.csp`).
     """
@@ -559,7 +600,9 @@ def bench_multinode_epoch(quick: bool = False, clock="wall") -> dict:
         iters=1, clock=tick,
     )
     wall_before = _time_per_call(
-        lambda: before.run_epoch(max_batches=batches, functional=False),
+        lambda: _on_legacy_engine(
+            lambda: before.run_epoch(max_batches=batches, functional=False)
+        ),
         iters=1, clock=tick,
     )
     return {
@@ -577,6 +620,111 @@ def bench_multinode_epoch(quick: bool = False, clock="wall") -> dict:
     }
 
 
+# ----------------------------------------------------------------------
+# 8. engine core — bucketed batch dispatch vs the retained heap core
+# ----------------------------------------------------------------------
+def _drive_engine(use_heap: bool, pairs: int, rounds: int,
+                  barrier_every: int = 16):
+    """A representative event mix on a bare simulator: producer/consumer
+    pairs over bounded queues, a contended SM pool, periodic rendezvous
+    rounds, and a timer storm whose deadlines are *quantized* (many
+    timers share one timestamp — the admission batcher's max-wait shape,
+    and exactly what batch dispatch accelerates).  Service times reuse
+    immutable ``Timeout`` constants, as the quantized-cost model does,
+    so the measurement is scheduler dispatch, not dataclass churn."""
+    from repro.engine.resources import BoundedQueue, Rendezvous, Resource
+    from repro.engine.simulator import Simulator, Timeout
+
+    sim = Simulator(use_heap_scheduler=use_heap)
+    sm = Resource(sim, capacity=max(2, pairs // 2), name="sm")
+    rdv = Rendezvous(sim, name="rdv")
+    queues = [BoundedQueue(sim, 4, name=f"q{i}") for i in range(pairs)]
+
+    fired = [0]
+
+    def tick():
+        fired[0] += 1
+
+    def timers():
+        for _ in range(rounds):
+            for j in range(4):
+                sim.schedule((1 + (j % 2)) * 1e-4, tick)
+            yield Timeout(1e-4)
+
+    ticks = [Timeout(r * 1e-4) for r in range(7)]
+    tick1 = ticks[1]
+
+    def producer(q, i):
+        for r in range(rounds):
+            yield ticks[r % 7]
+            yield q.put((i, r))
+
+    def consumer(q, i):
+        for r in range(rounds):
+            yield q.get()
+            yield sm.acquire(1)
+            yield tick1
+            sm.release(1)
+            if r % barrier_every == 0:
+                yield rdv.arrive(("b", r), pairs)
+
+    sim.spawn(timers(), name="timers")
+    for i, q in enumerate(queues):
+        sim.spawn(producer(q, i), name=f"p{i}")
+        sim.spawn(consumer(q, i), name=f"c{i}")
+    sim.run()
+    return sim
+
+
+def bench_engine_core(quick: bool = False, clock="wall") -> dict:
+    """Event-dispatch throughput: bucketed core vs the heap core.
+
+    Both sides run the *same* simulator class over the same workload;
+    only the scheduler core differs (``use_heap_scheduler=True`` is the
+    retained pre-PR heap-of-(t, seq) path).  The two runs must agree on
+    the final clock and total event count — asserted here, so a perf
+    run doubles as an equivalence check.
+    """
+    from repro.utils.errors import ReproError
+
+    tick = _make_clock(clock)
+    pairs = 8 if quick else 32
+    rounds = 60 if quick else 400
+    iters = 2 if quick else 3
+
+    # one checked pass per core before timing (also warms allocators)
+    heap_sim = _drive_engine(True, pairs, rounds)
+    bucket_sim = _drive_engine(False, pairs, rounds)
+    if (heap_sim.now != bucket_sim.now
+            or heap_sim.events_processed != bucket_sim.events_processed):
+        raise ReproError(
+            "engine cores diverged: "
+            f"heap now={heap_sim.now} ev={heap_sim.events_processed}, "
+            f"bucket now={bucket_sim.now} ev={bucket_sim.events_processed}"
+        )
+    events = bucket_sim.events_processed
+
+    wall_before = _time_per_call(
+        lambda: _drive_engine(True, pairs, rounds), iters, clock=tick
+    )
+    wall_after = _time_per_call(
+        lambda: _drive_engine(False, pairs, rounds), iters, clock=tick
+    )
+    return {
+        "params": {
+            "pairs": pairs,
+            "rounds": rounds,
+            "events": events,
+            "iters": iters,
+        },
+        "wall_s_before": wall_before,
+        "wall_s_after": wall_after,
+        "speedup": wall_before / wall_after,
+        "batches_per_s": 1.0 / wall_after,
+        "events_per_s": events / wall_after,
+    }
+
+
 _BENCHES = {
     "csp_layer": bench_csp_layer,
     "feature_load": bench_feature_load,
@@ -585,6 +733,7 @@ _BENCHES = {
     "sweep": bench_sweep,
     "chaos_scenario": bench_chaos_scenario,
     "multinode_epoch": bench_multinode_epoch,
+    "engine_core": bench_engine_core,
 }
 
 
@@ -714,6 +863,7 @@ __all__ = [
     "BENCH_NAMES",
     "bench_chaos_scenario",
     "bench_csp_layer",
+    "bench_engine_core",
     "bench_epoch",
     "bench_feature_load",
     "bench_multinode_epoch",

@@ -85,6 +85,10 @@ class InvariantChecker:
 
     # -- hooks (called by the engine, guarded by ``is not None``) --------
     def on_event_time(self, t: float) -> None:
+        # Under the default bucketed scheduler this fires once per
+        # *distinct* timestamp (a dispatch batch); under the legacy
+        # heap core, once per event.  ``checks`` totals therefore
+        # differ between cores — the monotonicity guarantee does not.
         self.checks += 1
         if t < self._last_time:
             self._fail(

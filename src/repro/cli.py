@@ -626,7 +626,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--benches", default="",
                    help="comma-separated subset of: csp_layer, "
                         "feature_load, epoch, serve_batch, sweep, "
-                        "chaos_scenario, multinode_epoch (default all)")
+                        "chaos_scenario, multinode_epoch, engine_core "
+                        "(default all)")
     p.add_argument("--workers", type=int, default=1,
                    help="worker processes, one task per benchmark "
                         "(default 1 = serial)")

@@ -117,7 +117,7 @@ class _WaitTurn:
             g._register(self.tag)
         if g._ready(self.gpu, self.tag):
             return True
-        proc.waiting_on = f"ccc({self.gpu}, {self.tag})"
+        proc.waiting_on = ("ccc", self.gpu, self.tag)  # lazy label
         g._waiters[self.gpu].append((proc, self.tag))
         return False
 
@@ -260,5 +260,5 @@ class _GuardArrive:
             # first arrival of this attempt arms the watchdog
             sim.schedule(g.timeout, _AbortTimer(g, key))
         waiting.append(proc)
-        proc.waiting_on = f"guarded({g.name}, {self.tag}#{self.attempt})"
+        proc.waiting_on = ("guarded", g.name, self.tag, self.attempt)
         return False

@@ -22,11 +22,55 @@ from typing import Any
 from repro.engine.simulator import Process, Simulator
 from repro.utils.errors import ReproError
 
+#: buffered gauge samples are flushed to the registry at this depth
+#: (and always at ``MetricsRegistry.finalize``)
+METRIC_FLUSH_EVERY = 256
+
 
 class _Request:
     """Base: stores the synchronous result for the simulator to pick up."""
 
     result: Any = None
+
+
+class _UsageMetricsBuffer:
+    """Flat-array staging of a resource's utilization gauge samples.
+
+    Per ``used`` transition the hot path appends three floats instead
+    of running two window-splitting ``Gauge.set`` calls; the buffer is
+    flushed in bulk (:meth:`repro.metrics.registry.Gauge.set_many`,
+    vectorized per-window integration) every
+    :data:`METRIC_FLUSH_EVERY` samples and, via the registry's flusher
+    hook, before the registry finalizes or exports — so the exported
+    series are identical to the per-event path.
+    """
+
+    __slots__ = ("_util", "_busy", "_ts", "_utils", "_busys")
+
+    def __init__(self, registry, name: str):
+        self._util = registry.gauge("resource_util", resource=name)
+        self._busy = registry.gauge("resource_busy", resource=name)
+        self._ts: list[float] = []
+        self._utils: list[float] = []
+        self._busys: list[float] = []
+        registry.add_flusher(self.flush)
+
+    def add(self, t: float, util: float, busy: float) -> None:
+        ts = self._ts
+        ts.append(t)
+        self._utils.append(util)
+        self._busys.append(busy)
+        if len(ts) >= METRIC_FLUSH_EVERY:
+            self.flush()
+
+    def flush(self) -> None:
+        if not self._ts:
+            return
+        self._util.set_many(self._ts, self._utils)
+        self._busy.set_many(self._ts, self._busys)
+        self._ts = []
+        self._utils = []
+        self._busys = []
 
 
 class Resource:
@@ -44,9 +88,8 @@ class Resource:
         self._last_t = sim.now
         self._area = 0.0  # integral of used threads dt
         self._busy = 0.0  # integral of [used > 0] dt
-        # lazily bound metrics instruments (only when sim.metrics is set)
-        self._m_util = None
-        self._m_busy = None
+        # lazily bound metrics buffer (only when sim.metrics is set)
+        self._m_buf: _UsageMetricsBuffer | None = None
 
     # -- accounting ----------------------------------------------------
     def _account(self) -> None:
@@ -70,16 +113,15 @@ class Resource:
 
     def _metric_used(self) -> None:
         """Utilization gauges on a ``used`` transition.  Callers guard
-        with ``if sim.metrics is not None`` (zero-cost-off)."""
-        util = self._m_util
-        if util is None:
-            reg = self.sim.metrics
-            util = self._m_util = reg.gauge("resource_util",
-                                            resource=self.name)
-            self._m_busy = reg.gauge("resource_busy", resource=self.name)
-        t = self.sim.now
-        util.set(t, self.used / self.capacity)
-        self._m_busy.set(t, 1.0 if self.used else 0.0)
+        with ``if sim.metrics is not None`` (zero-cost-off).  Samples
+        are staged in flat arrays and flushed to the registry in bulk,
+        not integrated per event (see :class:`_UsageMetricsBuffer`)."""
+        buf = self._m_buf
+        if buf is None:
+            buf = self._m_buf = _UsageMetricsBuffer(self.sim.metrics,
+                                                    self.name)
+        buf.add(self.sim.now, self.used / self.capacity,
+                1.0 if self.used else 0.0)
 
     def occupancy(self, total_time: float | None = None) -> float:
         """Mean fraction of capacity in use over the simulation."""
@@ -143,7 +185,7 @@ class _Acquire(_Request):
             if sim.metrics is not None:
                 r._metric_used()
             return True
-        proc.waiting_on = f"acquire({r.name}, {self.n})"
+        proc.waiting_on = ("acquire", r.name, self.n)  # lazy label
         r._waiters.append((proc, self.n))
         return False
 
@@ -221,7 +263,7 @@ class _Put(_Request):
         if len(q.items) < q.capacity:
             q._push(self.item)
             return True
-        proc.waiting_on = f"put({q.name})"
+        proc.waiting_on = ("put", q.name)  # lazy label
         q._putters.append((proc, self.item))
         return False
 
@@ -244,7 +286,7 @@ class _Get(_Request):
                 if sim.metrics is not None:
                     q._metric_depth()
             return True
-        proc.waiting_on = f"get({q.name})"
+        proc.waiting_on = ("get", q.name)  # lazy label
         q._getters.append(proc)
         return False
 
@@ -280,6 +322,6 @@ class _Arrive(_Request):
                 sim.tracer.instant(b.name, f"release:{self.tag}", sim.now,
                                    cat="rendezvous", parties=self.n_expected)
             return True  # last arrival proceeds immediately
-        proc.waiting_on = f"barrier({b.name}, {self.tag})"
+        proc.waiting_on = ("barrier", b.name, self.tag)  # lazy label
         waiting.append(proc)
         return False

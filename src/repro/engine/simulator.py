@@ -5,22 +5,52 @@ simulator a request object; the simulator resumes the generator when
 the request completes.  Supported requests:
 
 - :class:`Timeout` — resume after a fixed simulated delay.
-- any object with a ``__sim_request__(sim, process)`` method (the
-  resource/queue/barrier primitives in :mod:`repro.engine.resources`).
+- any object whose *class* defines a ``__sim_request__(sim, process)``
+  method (the resource/queue/barrier primitives in
+  :mod:`repro.engine.resources`).
 - another generator — run it inline (sub-process call), resuming the
   parent with the child's return value.
 
-Deadlock detection comes for free: if the event heap runs dry while
+Deadlock detection comes for free: if the event queue runs dry while
 processes are still blocked, nothing can ever happen again, and the
 simulator raises :class:`~repro.utils.errors.DeadlockError` naming each
 blocked process and what it is waiting on — exactly the situation of
 the paper's Fig 8.
+
+Two interchangeable scheduler cores drive the loop (the event *order*
+is bit-identical between them; ``tests/engine/test_scheduler_equivalence``
+pins the contract):
+
+- the default **bucketed calendar core**: pending events live in a
+  ``{timestamp: [target, value, ...]}`` bucket table plus a heap of
+  *distinct* timestamps.  Scheduling into an existing timestamp is an
+  O(1) append — the near-monotonic, heavily duplicated timestamps the
+  serving tier produces (zero-delay queue handoffs, barrier releases,
+  quantized batcher deadlines) pay no heap traffic at all — and only
+  the first event of a new timestamp pays the O(log d) heap push
+  (``d`` = distinct pending times, the far-future fallback).  The run
+  loop dispatches **all events of one timestamp as a single batch**:
+  one ``now`` update and one invariant ``on_event_time`` call per
+  distinct time instead of per event, with FIFO order preserved
+  because bucket appends happen in global scheduling order (what the
+  legacy core's per-event sequence counter enforced).
+- the legacy **heap core** (``use_heap_scheduler=True``, or env
+  ``REPRO_HEAP_SCHEDULER=1``): one ``(time, seq, target, value)``
+  binary heap, one push/pop per event — retained as the escape hatch
+  and as the *before* measurement of the ``engine_core``
+  microbenchmark (``repro perf``).
+
+The hot path allocates nothing when no tracer/metrics/invariant hook
+is attached: blocking diagnostics (``Process.waiting_on``) store the
+raw request and format the human-readable label lazily, only when
+deadlock forensics, ``__repr__`` or an attached tracer asks for it.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
+import os
 from dataclasses import dataclass
 from typing import Any, Callable, Generator, Iterator
 
@@ -39,6 +69,26 @@ class Timeout:
             raise ReproError(f"negative delay: {self.delay}")
 
 
+def _format_wait(wait: Any) -> str:
+    """Render a lazily stored wait descriptor as the diagnostic label.
+
+    Blocking sites store either a plain string (legacy contract), the
+    :class:`Timeout` request itself, or a ``(kind, *args)`` tuple; the
+    formats below reproduce the labels the eager f-strings used to
+    build, so :func:`repro.obs.tracer.wait_category` and deadlock
+    messages are unchanged.
+    """
+    if type(wait) is str:
+        return wait
+    if type(wait) is Timeout:
+        return f"timeout({wait.delay:g})"
+    kind = wait[0]
+    if kind == "guarded":
+        return f"guarded({wait[1]}, {wait[2]}#{wait[3]})"
+    args = ", ".join(str(a) for a in wait[1:])
+    return f"{kind}({args})"
+
+
 class Process:
     """A running generator plus its call stack of nested generators.
 
@@ -47,7 +97,7 @@ class Process:
     """
 
     __slots__ = (
-        "name", "stack", "done", "result", "waiting_on",
+        "name", "stack", "done", "result", "_wait",
         "block_start", "block_label",
     )
 
@@ -56,30 +106,71 @@ class Process:
         self.stack: list[Generator] = [gen]
         self.done = False
         self.result: Any = None
-        #: human-readable description of the blocking request (diagnostics)
-        self.waiting_on: str | None = None
+        #: raw blocking-request descriptor; read the formatted label via
+        #: :attr:`waiting_on` (diagnostics only — never on the hot path)
+        self._wait: Any = None
         # open wait-span bookkeeping; only touched when a tracer is set
         self.block_start: float = 0.0
         self.block_label: str | None = None
+
+    @property
+    def waiting_on(self) -> str | None:
+        """Human-readable description of the blocking request.
+
+        Formatted on demand from the stored raw descriptor so the
+        common (unblocked-or-timeout) path allocates no string.
+        """
+        w = self._wait
+        return None if w is None else _format_wait(w)
+
+    @waiting_on.setter
+    def waiting_on(self, wait: Any) -> None:
+        self._wait = wait
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         state = "done" if self.done else (self.waiting_on or "runnable")
         return f"Process({self.name}: {state})"
 
 
-class Simulator:
-    """Event loop: schedules callbacks at simulated times, drives processes."""
+#: sentinel returned by :meth:`Simulator._step_rare` when the process
+#: blocked (distinguishable from a legitimate ``None`` send value)
+_BLOCKED = object()
 
-    def __init__(self, tracer=None, metrics=None) -> None:
+
+def _env_use_heap() -> bool:
+    """Resolve the scheduler escape hatch from the environment."""
+    return os.environ.get("REPRO_HEAP_SCHEDULER", "") not in ("", "0")
+
+
+class Simulator:
+    """Event loop: schedules callbacks at simulated times, drives processes.
+
+    ``use_heap_scheduler`` selects the legacy single-heap core
+    (``None``, the default, reads the ``REPRO_HEAP_SCHEDULER``
+    environment variable, so whole suites can be replayed on the old
+    core without code changes).  Both cores dispatch events in the
+    identical (time, scheduling-order) sequence.
+    """
+
+    def __init__(self, tracer=None, metrics=None,
+                 use_heap_scheduler: bool | None = None) -> None:
         self.now: float = 0.0
-        #: entries are ``(time, seq, target, value)``; ``target`` is a
-        #: Process (resume it with ``value``) or a bare callback — a
-        #: tuple dispatch instead of a per-event lambda allocation
+        if use_heap_scheduler is None:
+            use_heap_scheduler = _env_use_heap()
+        self.use_heap_scheduler = bool(use_heap_scheduler)
+        # legacy core: entries are ``(time, seq, target, value)``;
+        # ``target`` is a Process (resume it with ``value``) or a bare
+        # callback — a tuple dispatch instead of a per-event lambda
         self._heap: list[tuple[float, int, Any, Any]] = []
         self._seq = itertools.count()
+        # bucketed core: timestamp -> flat [target, value, ...] pairs,
+        # plus a heap of the *distinct* pending timestamps
+        self._buckets: dict[float, list] = {}
+        self._times: list[float] = []
         self._processes: list[Process] = []
-        #: number of processes currently blocked on a primitive
-        self._blocked = 0
+        #: events dispatched so far (callbacks + process resumptions);
+        #: ``repro perf`` reports events/s from this counter
+        self.events_processed: int = 0
         #: optional :class:`repro.obs.Tracer`; when None (the default)
         #: no trace event is ever allocated (every hook is guarded)
         self.tracer = tracer
@@ -88,25 +179,36 @@ class Simulator:
         #: same zero-cost-off contract as the tracer
         self.metrics = metrics
         #: optional :class:`repro.chaos.InvariantChecker`; when None
-        #: (the default) no invariant hook runs anywhere in the engine
+        #: (the default) no invariant hook runs anywhere in the engine.
+        #: Under the bucketed core ``on_event_time`` fires once per
+        #: distinct timestamp (a dispatch batch), not once per event.
         self.invariants = None
 
     # ------------------------------------------------------------------
     # scheduling
     # ------------------------------------------------------------------
+    def _push(self, t: float, target: Any, value: Any) -> None:
+        """Enqueue one event; FIFO at equal times on both cores."""
+        if self.use_heap_scheduler:
+            heapq.heappush(self._heap, (t, next(self._seq), target, value))
+            return
+        b = self._buckets.get(t)
+        if b is None:
+            self._buckets[t] = [target, value]
+            heapq.heappush(self._times, t)
+        else:
+            b.append(target)
+            b.append(value)
+
     def schedule(self, delay: float, callback: Callable[[], None]) -> None:
         """Run ``callback`` ``delay`` seconds from now (FIFO at equal times)."""
         if delay < 0:
             raise ReproError(f"negative delay: {delay}")
-        heapq.heappush(
-            self._heap, (self.now + delay, next(self._seq), callback, None)
-        )
+        self._push(self.now + delay, callback, None)
 
     def _schedule_step(self, delay: float, proc: Process, value: Any) -> None:
         """Schedule resuming ``proc`` with ``value`` (no lambda per event)."""
-        heapq.heappush(
-            self._heap, (self.now + delay, next(self._seq), proc, value)
-        )
+        self._push(self.now + delay, proc, value)
 
     def spawn(self, gen: Generator, name: str = "proc") -> Process:
         """Register a generator as a process; it starts when run() is called."""
@@ -115,11 +217,20 @@ class Simulator:
         self._schedule_step(0.0, proc, None)
         return proc
 
+    def resume(self, proc: Process, value: Any = None) -> None:
+        """Called by primitives to unblock a process at the current time."""
+        self._push(self.now, proc, value)
+
     # ------------------------------------------------------------------
     # process driving
     # ------------------------------------------------------------------
     def _step(self, proc: Process, value: Any) -> None:
-        """Advance ``proc`` with ``value`` until it blocks or finishes."""
+        """Advance ``proc`` with ``value`` until it blocks or finishes.
+
+        The instrumented trampoline: closes/opens tracer wait spans.
+        Used whenever a tracer is attached, and always by the legacy
+        heap core (whose behaviour it preserves verbatim).
+        """
         if self.tracer is not None and proc.block_label is not None:
             self.tracer.span(
                 proc.name, proc.block_label,
@@ -127,7 +238,7 @@ class Simulator:
                 start=proc.block_start, end=self.now,
             )
             proc.block_label = None
-        proc.waiting_on = None
+        proc._wait = None
         while True:
             gen = proc.stack[-1]
             try:
@@ -144,7 +255,7 @@ class Simulator:
 
             if isinstance(request, Timeout):
                 self._schedule_step(request.delay, proc, None)
-                proc.waiting_on = f"timeout({request.delay:g})"
+                proc._wait = request
                 return
             if isinstance(request, Iterator):
                 proc.stack.append(request)
@@ -163,35 +274,165 @@ class Simulator:
                 proc.block_label = proc.waiting_on
             return  # blocked; the primitive will call resume()
 
-    def resume(self, proc: Process, value: Any = None) -> None:
-        """Called by primitives to unblock a process at the current time."""
-        self._schedule_step(0.0, proc, value)
+    def _step_rare(self, proc: Process, request: Any) -> Any:
+        """Slow-path dispatch for requests the inlined trampoline does
+        not special-case (``Timeout`` subclasses, nested generators).
+
+        Returns the sentinel ``_BLOCKED`` when ``proc`` blocked, else
+        pushes the sub-generator and returns ``None`` as the next send
+        value (mirrors :meth:`_step`'s semantics for these branches).
+        """
+        if isinstance(request, Timeout):  # Timeout subclass
+            self._schedule_step(request.delay, proc, None)
+            proc._wait = request
+            return _BLOCKED
+        if isinstance(request, Iterator):
+            proc.stack.append(request)
+            return None
+        raise ReproError(
+            f"process {proc.name!r} yielded unsupported object: {request!r}"
+        )
 
     # ------------------------------------------------------------------
     # running
     # ------------------------------------------------------------------
+    def _drain_heap(self, until: float | None) -> bool:
+        """Legacy core: one heap pop per event.  Returns False when the
+        ``until`` cutoff was reached with events still pending."""
+        step = self._step
+        inv = self.invariants
+        heap = self._heap
+        n = 0
+        try:
+            while heap:
+                t = heap[0][0]
+                if until is not None and t > until:
+                    self.now = until
+                    return False
+                _, _, target, value = heapq.heappop(heap)
+                self.now = t
+                n += 1
+                if inv is not None:
+                    inv.on_event_time(t)
+                if type(target) is Process:
+                    step(target, value)
+                else:
+                    target()
+        finally:
+            self.events_processed += n
+        return True
+
+    def _drain_buckets(self, until: float | None) -> bool:
+        """Bucketed core: dispatch all events of one timestamp as one
+        batch — a single ``now`` update and a single invariant
+        ``on_event_time`` call per distinct time.  Events scheduled *at*
+        the batch's timestamp while it drains are appended to the live
+        bucket and dispatched in the same pass, in scheduling order —
+        exactly the (time, seq) order of the legacy heap.
+
+        The untraced process trampoline is inlined into the dispatch
+        loop (no per-event method call): its semantics are
+        :meth:`_step` minus the tracer guards, with the common cases
+        leaned out — exact-type timeout test with an in-place bucket
+        push, request hooks resolved through the class (no per-event
+        bound-method allocation) and probed before the ``Iterator`` ABC
+        check.  None of the engine's request primitives are iterators,
+        so the reorder is observationally equivalent; the rare branches
+        (``Timeout`` subclasses, sub-generators) fall back to
+        :meth:`_step_rare`.  When a tracer is attached the instrumented
+        :meth:`_step` drives processes instead.
+        """
+        traced_step = self._step if self.tracer is not None else None
+        inv = self.invariants
+        times = self._times
+        buckets = self._buckets
+        pop = heapq.heappop
+        push = heapq.heappush
+        n = 0
+        try:
+            while times:
+                t = times[0]
+                if until is not None and t > until:
+                    self.now = until
+                    return False
+                pop(times)
+                batch = buckets[t]
+                self.now = t
+                if inv is not None:
+                    inv.on_event_time(t)
+                i = 0
+                while i < len(batch):  # len() rechecked: same-t appends
+                    target = batch[i]
+                    value = batch[i + 1]
+                    i += 2
+                    if type(target) is not Process:
+                        target()
+                        continue
+                    if traced_step is not None:
+                        traced_step(target, value)
+                        continue
+                    # -- inlined untraced trampoline -------------------
+                    target._wait = None
+                    stack = target.stack
+                    while True:
+                        try:
+                            request = stack[-1].send(value)
+                        except StopIteration as stop:
+                            stack.pop()
+                            if not stack:
+                                target.done = True
+                                target.result = stop.value
+                                break
+                            value = stop.value
+                            continue
+                        value = None
+                        if type(request) is Timeout:
+                            # self.now == t for the whole batch; a zero
+                            # delay lands in the live bucket and runs in
+                            # this same pass (scheduling order)
+                            t2 = t + request.delay
+                            b = buckets.get(t2)
+                            if b is None:
+                                buckets[t2] = [target, None]
+                                push(times, t2)
+                            else:
+                                b.append(target)
+                                b.append(None)
+                            target._wait = request  # label formatted lazily
+                            break
+                        hook = getattr(type(request), "__sim_request__", None)
+                        if hook is not None:
+                            if hook(request, self, target):
+                                value = getattr(request, "result", None)
+                                continue
+                            break  # blocked; the primitive will resume()
+                        value = self._step_rare(target, request)
+                        if value is _BLOCKED:
+                            break
+                del buckets[t]
+                n += i >> 1
+        finally:
+            self.events_processed += n
+        return True
+
     def run(self, until: float | None = None) -> float:
-        """Execute events until the heap is empty (or ``until`` is reached).
+        """Execute events until the queue is empty (or ``until`` is reached).
 
         Returns the final simulated time.  Raises
         :class:`DeadlockError` when no event is pending but some
         process is still blocked.
         """
-        step = self._step
-        inv = self.invariants
-        while self._heap:
-            t = self._heap[0][0]
-            if until is not None and t > until:
-                self.now = until
-                return self.now
-            _, _, target, value = heapq.heappop(self._heap)
-            self.now = t
-            if inv is not None:
-                inv.on_event_time(t)
-            if type(target) is Process:
-                step(target, value)
-            else:
-                target()
+        processed_before = self.events_processed
+        if self.use_heap_scheduler:
+            drained = self._drain_heap(until)
+        else:
+            drained = self._drain_buckets(until)
+        if self.metrics is not None:
+            delta = self.events_processed - processed_before
+            if delta:
+                self.metrics.counter("engine_events").inc(self.now, delta)
+        if not drained:
+            return self.now  # ``until`` cutoff; events still pending
 
         if self.tracer is not None:
             # close wait spans of processes that never resumed, so a
@@ -207,7 +448,7 @@ class Simulator:
                     )
                     p.block_label = None
         stuck = {p.name: p.waiting_on for p in self._processes
-                 if not p.done and p.waiting_on is not None}
+                 if not p.done and p._wait is not None}
         if stuck:
             raise DeadlockError(
                 "simulation deadlocked; blocked processes: "

@@ -44,6 +44,8 @@ from __future__ import annotations
 import math
 from typing import Iterator
 
+import numpy as np
+
 from repro.metrics.histogram import LogHistogram
 
 __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
@@ -136,6 +138,92 @@ class Gauge:
         self.last = value
         self._touch_max(int(t // self._w), value)
 
+    def set_many(self, ts, values) -> None:
+        """Bulk ``set``: fold a whole run of samples in one call.
+
+        The engine's buffered hot paths (resource utilization
+        transitions) stage ``(t, value)`` samples in flat arrays and
+        flush them here per window instead of integrating per event.
+        The per-window state afterwards equals replaying ``set`` per
+        sample — windows that receive contributions from both the
+        vectorized and the boundary-crossing path may differ by float
+        summation order (≤ 1 ulp per window).
+
+        Requires nondecreasing ``ts`` starting at or after the last
+        sample time; anything else (and small or degenerate batches)
+        falls back to the scalar loop.
+        """
+        n = len(ts)
+        if n != len(values):
+            raise ValueError(
+                f"set_many: {n} timestamps vs {len(values)} values"
+            )
+        if n == 0:
+            return
+        if n < 32 or ts[0] < self._t:
+            for t, v in zip(ts, values):
+                self.set(t, v)
+            return
+        ts_a = np.asarray(ts, dtype=np.float64)
+        vs_a = np.asarray(values, dtype=np.float64)
+        ws = self._w
+        # held-value segments: value h_i over [s_i, e_i)
+        s = np.empty(n)
+        s[0] = self._t
+        s[1:] = ts_a[:-1]
+        e = ts_a
+        h = np.empty(n)
+        h[0] = self.last
+        h[1:] = vs_a[:-1]
+        if np.any(e[1:] < e[:-1]):
+            for t, v in zip(ts, values):
+                self.set(t, v)
+            return
+        w0 = (s // ws).astype(np.int64)
+        w1 = (e // ws).astype(np.int64)
+        wmin = int(w0[0])
+        size = int(w1[-1]) - wmin + 1
+        if size > 4 * n + 1024:  # sparse samples over a huge time span
+            for t, v in zip(ts, values):
+                self.set(t, v)
+            return
+        integral = np.zeros(size)
+        touched = np.zeros(size, dtype=bool)
+        dense_max = np.full(size, -np.inf)
+        live = e > s  # zero-width slices integrate (and bound) nothing
+        nz = live & (h != 0.0)
+        cross = live & (w0 != w1)
+        # each live segment's share inside its first window
+        head_end = np.minimum(e, (w0 + 1).astype(np.float64) * ws)
+        np.add.at(integral, w0[nz] - wmin, (head_end[nz] - s[nz]) * h[nz])
+        touched[w0[nz] - wmin] = True
+        nzc = cross & (h != 0.0)
+        np.add.at(integral, w1[nzc] - wmin,
+                  (e[nzc] - w1[nzc].astype(np.float64) * ws) * h[nzc])
+        touched[w1[nzc] - wmin] = True
+        # interior windows of crossing segments are rare: scalar loop
+        for i in np.flatnonzero(cross):
+            hi = float(h[i])
+            for w in range(int(w0[i]) + 1, int(w1[i])):
+                if hi != 0.0:
+                    integral[w - wmin] += ws * hi
+                    touched[w - wmin] = True
+                if hi > dense_max[w - wmin]:
+                    dense_max[w - wmin] = hi
+        # held values bound the max of every window they span; sampled
+        # values touch their own window (w1 is the sample's window)
+        np.maximum.at(dense_max, w0[live] - wmin, h[live])
+        np.maximum.at(dense_max, w1[live] - wmin, h[live])
+        np.maximum.at(dense_max, w1 - wmin, vs_a)
+        for idx in np.flatnonzero(touched):
+            w = int(idx) + wmin
+            self._integral[w] = (self._integral.get(w, 0.0)
+                                 + float(integral[idx]))
+        for idx in np.flatnonzero(dense_max > -np.inf):
+            self._touch_max(int(idx) + wmin, float(dense_max[idx]))
+        self.last = float(vs_a[-1])
+        self._t = float(ts_a[-1])
+
     def finalize(self, t_end: float) -> None:
         """Integrate the held value through the end of the run."""
         self._accumulate(t_end)
@@ -209,6 +297,9 @@ class MetricsRegistry:
             raise ValueError("window_s must be positive and finite")
         self.window_s = float(window_s)
         self._instruments: dict[tuple[str, str, tuple], object] = {}
+        #: callables that flush externally buffered samples into the
+        #: registry; run before any finalize/export read
+        self._flushers: list = []
         #: annotated point events: (t, name, attrs) in insertion order
         self.events: list[tuple[float, str, dict]] = []
         #: latest timestamp handed to :meth:`finalize` (run end)
@@ -238,6 +329,20 @@ class MetricsRegistry:
             lambda: Histogram(name, labels, self.window_s, growth=growth),
         )
 
+    # -- buffered producers ----------------------------------------------
+    def add_flusher(self, fn) -> None:
+        """Register a flush callback for a hot path that stages samples
+        in flat arrays (e.g. resource utilization transitions).  All
+        flushers run before :meth:`finalize` and :meth:`to_dict` read
+        instrument state, so batched producers export the same series
+        as per-event ones.  Flushers must be idempotent."""
+        self._flushers.append(fn)
+
+    def flush(self) -> None:
+        """Drain every registered buffered producer into the registry."""
+        for fn in self._flushers:
+            fn()
+
     # -- events ----------------------------------------------------------
     def event(self, t: float, name: str, **attrs) -> None:
         """Record an annotated point event (fault, violation, ...)."""
@@ -264,6 +369,7 @@ class MetricsRegistry:
     def finalize(self, t_end: float) -> None:
         """Close the run at ``t_end``: gauges integrate their held value
         through the end so the final window's mean is complete."""
+        self.flush()
         self.end = max(self.end, float(t_end))
         for key, inst in self._instruments.items():
             if key[0] == "gauge":
@@ -273,6 +379,7 @@ class MetricsRegistry:
     def to_dict(self) -> dict:
         """JSON-safe snapshot of every instrument and event, in a
         deterministic order (sorted by kind, name, labels)."""
+        self.flush()
         out: list[dict] = []
         for kind, name, labels, inst in self.instruments():
             row = {"kind": kind, "name": name, "labels": labels}

@@ -194,7 +194,7 @@ class _NextBatch:
         if b.closing and not b.pending:
             self.result = None
             return True
-        proc.waiting_on = f"get({b.name})"  # classified as queue-wait
+        proc.waiting_on = ("get", b.name)  # lazy; classified as queue-wait
         b._waiter = proc
         if b.pending:
             b._arm_timer()

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.engine import Simulator, Timeout
+from repro.engine.simulator import Process
 from repro.utils import ReproError
 
 
@@ -97,3 +98,97 @@ class TestEventLoop:
         sim.run()
         assert ("a", 1.0) in log and ("b", 1.5) in log
         assert log.index(("a", 1.0)) < log.index(("b", 1.5))
+
+
+class TestEventsProcessed:
+    @pytest.mark.parametrize("use_heap", [False, True])
+    def test_counts_every_dispatch(self, use_heap):
+        sim = Simulator(use_heap_scheduler=use_heap)
+
+        def proc():
+            yield Timeout(1.0)
+            yield Timeout(1.0)
+
+        sim.spawn(proc())        # 1 spawn event + 2 timeout resumptions
+        sim.schedule(0.5, lambda: None)   # 1 callback event
+        sim.run()
+        assert sim.events_processed == 4
+
+    def test_counter_survives_until_cutoff(self):
+        sim = Simulator()
+
+        def proc():
+            yield Timeout(1.0)
+            yield Timeout(10.0)
+
+        sim.spawn(proc())
+        sim.run(until=2.0)
+        assert sim.events_processed == 2  # spawn + first timeout
+        sim.run()
+        assert sim.events_processed == 3
+
+    def test_exported_to_metrics_registry(self):
+        from repro.metrics import MetricsRegistry
+
+        reg = MetricsRegistry()
+        sim = Simulator(metrics=reg)
+
+        def proc():
+            yield Timeout(1.0)
+
+        sim.spawn(proc())
+        sim.run()
+        counters = {
+            (i["name"],): i for i in reg.to_dict()["instruments"]
+            if i["name"] == "engine_events"
+        }
+        assert counters[("engine_events",)]["total"] == sim.events_processed
+
+
+class TestLazyWaitingOn:
+    def test_blocked_timeout_formats_on_demand(self):
+        sim = Simulator()
+
+        def proc():
+            yield Timeout(2.5)
+
+        p = sim.spawn(proc())
+        sim.run(until=1.0)
+        # raw descriptor is the request itself; property renders legacy label
+        assert isinstance(p._wait, Timeout)
+        assert p.waiting_on == "timeout(2.5)"
+        assert "timeout(2.5)" in repr(p)
+
+    def test_waiting_on_accepts_legacy_strings(self):
+        # third-party primitives may still assign preformatted strings
+        p = Process("x", iter(()))
+        p.waiting_on = "custom(wait)"
+        assert p.waiting_on == "custom(wait)"
+        p.waiting_on = None
+        assert p.waiting_on is None
+
+    def test_unblocked_process_has_no_label(self):
+        sim = Simulator()
+
+        def proc():
+            yield Timeout(1.0)
+
+        p = sim.spawn(proc())
+        sim.run()
+        assert p.waiting_on is None and p.done
+
+
+class TestSchedulerSelection:
+    def test_default_is_bucketed(self, monkeypatch):
+        monkeypatch.delenv("REPRO_HEAP_SCHEDULER", raising=False)
+        assert Simulator().use_heap_scheduler is False
+
+    def test_flag_selects_heap(self):
+        sim = Simulator(use_heap_scheduler=True)
+        assert sim.use_heap_scheduler is True
+
+        def proc():
+            yield Timeout(1.0)
+
+        sim.spawn(proc())
+        assert sim.run() == pytest.approx(1.0)

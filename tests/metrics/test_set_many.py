@@ -1,0 +1,178 @@
+"""``Gauge.set_many`` — the vectorized bulk update used by buffered
+engine producers — must integrate exactly like a sequence of ``set``
+calls, and the resource-usage buffer must export the same series as
+the old per-event path."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.engine import Resource, Simulator, Timeout
+from repro.metrics import MetricsRegistry
+
+
+def _series(reg: MetricsRegistry, name: str, **labels):
+    g = reg.find("gauge", name, **labels)
+    assert g is not None, name
+    return g.series()
+
+
+def _assert_series_equal(got, want):
+    assert len(got) == len(want)
+    for a, b in zip(got, want):
+        assert a["t"] == b["t"]
+        assert a["mean"] == pytest.approx(b["mean"], rel=1e-9, abs=1e-12)
+        assert a["max"] == pytest.approx(b["max"], rel=1e-9, abs=1e-12)
+
+
+def _compare_bulk_vs_sequential(samples, window_s=1.0, end=None):
+    """Same samples through set_many (one call) and set (per sample)."""
+    seq = MetricsRegistry(window_s=window_s)
+    g_seq = seq.gauge("x")
+    for t, v in samples:
+        g_seq.set(t, v)
+
+    bulk = MetricsRegistry(window_s=window_s)
+    bulk.gauge("x").set_many([t for t, _ in samples],
+                             [v for _, v in samples])
+
+    t_end = samples[-1][0] if end is None else end
+    seq.finalize(t_end)
+    bulk.finalize(t_end)
+    _assert_series_equal(_series(bulk, "x"), _series(seq, "x"))
+
+
+class TestSetManyEquivalence:
+    def test_within_one_window(self):
+        _compare_bulk_vs_sequential([(0.1, 1.0), (0.3, 3.0), (0.7, 0.0)])
+
+    def test_crossing_window_boundaries(self):
+        _compare_bulk_vs_sequential(
+            [(0.5, 2.0), (1.5, 4.0), (3.25, 0.0), (3.75, 1.0)], end=5.0
+        )
+
+    def test_long_gaps_span_many_windows(self):
+        _compare_bulk_vs_sequential(
+            [(0.0, 3.0), (10.0, 0.0), (25.0, 7.0)], end=30.0
+        )
+
+    def test_duplicate_timestamps_keep_last(self):
+        _compare_bulk_vs_sequential(
+            [(0.2, 1.0), (0.2, 5.0), (0.2, 2.0), (0.9, 0.0)]
+        )
+
+    def test_large_batch_vector_path(self):
+        # >=32 samples takes the numpy path; mirror-check against set()
+        rng = random.Random(7)
+        t = 0.0
+        samples = []
+        for _ in range(500):
+            t += rng.choice((0.0, 0.05, 0.1, 0.4))
+            samples.append((t, rng.choice((0.0, 0.25, 0.5, 1.0))))
+        _compare_bulk_vs_sequential(samples, end=t + 1.0)
+
+    def test_incremental_batches_resume_held_value(self):
+        # two set_many calls: the second must continue integrating the
+        # first call's final held value across the gap
+        seq = MetricsRegistry(window_s=1.0)
+        g = seq.gauge("x")
+        for t, v in [(0.5, 2.0), (4.5, 1.0), (6.0, 0.0)]:
+            g.set(t, v)
+        seq.finalize(8.0)
+
+        bulk = MetricsRegistry(window_s=1.0)
+        gb = bulk.gauge("x")
+        gb.set_many([0.5], [2.0])
+        gb.set_many([4.5, 6.0], [1.0, 0.0])
+        bulk.finalize(8.0)
+        _assert_series_equal(_series(bulk, "x"), _series(seq, "x"))
+
+    def test_empty_and_mismatched_inputs(self):
+        g = MetricsRegistry(window_s=1.0).gauge("x")
+        g.set_many([], [])  # no-op
+        with pytest.raises(ValueError):
+            g.set_many([0.0, 1.0], [1.0])
+
+    @given(st.lists(
+        st.tuples(st.sampled_from([0.0, 0.1, 0.25, 0.5, 1.0, 2.5]),
+                  st.sampled_from([0.0, 0.5, 1.0, 3.0])),
+        min_size=1, max_size=80,
+    ))
+    @settings(max_examples=40, deadline=None)
+    def test_property_equivalence(self, deltas):
+        t = 0.0
+        samples = []
+        for dt, v in deltas:
+            t += dt
+            samples.append((t, v))
+        _compare_bulk_vs_sequential(samples, end=t + 1.0)
+
+
+class TestBufferedResourceMetrics:
+    def _usage_series(self, flush_every):
+        """A contended-resource run with the buffer flush threshold
+        patched; returns the exported utilization series."""
+        import repro.engine.resources as resources_mod
+
+        orig = resources_mod.METRIC_FLUSH_EVERY
+        resources_mod.METRIC_FLUSH_EVERY = flush_every
+        try:
+            reg = MetricsRegistry(window_s=0.5)
+            sim = Simulator(metrics=reg)
+            r = Resource(sim, capacity=2, name="sm")
+
+            def job(d):
+                yield r.acquire(1)
+                yield Timeout(d)
+                r.release(1)
+
+            for i in range(20):
+                sim.spawn(job(0.3 + (i % 3) * 0.2))
+            sim.run()
+            reg.finalize(sim.now)
+            return (_series(reg, "resource_util", resource="sm"),
+                    _series(reg, "resource_busy", resource="sm"))
+        finally:
+            resources_mod.METRIC_FLUSH_EVERY = orig
+
+    def test_bulk_flush_matches_per_event_flush(self):
+        """flush-every-1 is the old per-event behaviour; the default
+        bulk threshold must export the same series."""
+        util_bulk, busy_bulk = self._usage_series(256)
+        util_seq, busy_seq = self._usage_series(1)
+        _assert_series_equal(util_bulk, util_seq)
+        _assert_series_equal(busy_bulk, busy_seq)
+
+    def test_finalize_drains_partial_buffer(self):
+        """Samples below the flush threshold still reach the export —
+        the registry flusher hook runs before finalize reads."""
+        reg = MetricsRegistry(window_s=1.0)
+        sim = Simulator(metrics=reg)
+        r = Resource(sim, capacity=1, name="sm")
+
+        def job():
+            yield r.acquire(1)
+            yield Timeout(1.0)
+            r.release(1)
+
+        sim.spawn(job())
+        sim.run()
+        reg.finalize(sim.now)
+        rows = _series(reg, "resource_util", resource="sm")
+        assert rows and rows[0]["max"] == pytest.approx(1.0)
+
+    def test_to_dict_also_flushes(self):
+        reg = MetricsRegistry(window_s=1.0)
+        sim = Simulator(metrics=reg)
+        r = Resource(sim, capacity=1, name="sm")
+
+        def job():
+            yield r.acquire(1)
+            yield Timeout(0.25)
+            r.release(1)
+
+        sim.spawn(job())
+        sim.run()
+        names = {i["name"] for i in reg.to_dict()["instruments"]}
+        assert "resource_util" in names and "resource_busy" in names
