@@ -21,8 +21,18 @@ default), PageRank, reverse PageRank, plus a random control.
 fetch: deduplicate requests, serve cached vectors with an NVLink
 all-to-all (or local gather), serve cold vectors via UVA, and run the
 two paths in parallel since they use different links (§3.2).
+
+Two opt-in layers ride on top (``docs/caching.md``):
+
+- :class:`~repro.cache.dynamic.DynamicCachePolicy` — access-frequency
+  promotion/demotion of the partitioned cache (EWMA over window
+  request counts, workload-history warmup, frontier prefetch);
+- :mod:`repro.cache.codec` — cold-path feature compression: non-local
+  rows travel fp16/int8-compressed and decode on arrival.
 """
 
+from repro.cache.codec import CODECS, FeatureCodec, get_codec
+from repro.cache.dynamic import DynamicCacheConfig, DynamicCachePolicy
 from repro.cache.policies import (
     HOT_POLICIES,
     rank_by_degree,
@@ -40,6 +50,11 @@ from repro.cache.loader import FeatureLoader, HostGatherLoader
 from repro.cache.plan import FeaturePlan, PlanCache
 
 __all__ = [
+    "CODECS",
+    "DynamicCacheConfig",
+    "DynamicCachePolicy",
+    "FeatureCodec",
+    "get_codec",
     "FeaturePlan",
     "PlanCache",
     "HOT_POLICIES",

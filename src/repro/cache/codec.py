@@ -1,0 +1,122 @@
+"""Cold-path feature compression codecs (FastSample-style).
+
+A codec changes how many bytes a feature row occupies **on the wire**
+when it leaves its home — the UVA cold path (host -> GPU over PCIe)
+and the remote hot path (peer GPU over NVLink, which the cluster
+lowering further splits into NVLink + NIC legs).  Locally cached rows
+are served at full precision and cost nothing extra, so the codec is a
+pure transfer optimization: the loader prices non-local rows at
+``wire_row_bytes`` instead of the raw ``dim * itemsize`` and charges a
+decode kernel for expanding them back on the requesting GPU.
+
+Codecs are *functional*, not just accounting: ``apply`` performs the
+quantize -> dequantize roundtrip on the rows that travelled, so the
+features a model trains/serves on reflect the precision actually paid
+for.  ``fp32`` (the default, also spelled ``"none"``) is the exact
+identity — with it the loader output is bit-identical to a loader
+built before codecs existed.
+
+Two lossy codecs are provided:
+
+- ``fp16`` — IEEE half precision, 2 bytes/element;
+- ``int8`` — per-row affine quantization: 1 byte/element plus an
+  8-byte per-row header (float32 scale + offset), the usual GNN
+  feature-compression scheme.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.errors import ConfigError
+
+__all__ = ["FeatureCodec", "CODECS", "get_codec"]
+
+
+class FeatureCodec:
+    """Interface: wire-size model + functional quantization roundtrip."""
+
+    #: codec name as accepted by :func:`get_codec` / ``--compress``
+    name: str = "fp32"
+    #: wire bytes per feature element
+    bytes_per_elem: float = 4.0
+    #: fixed per-row header bytes (quantization scale/offset)
+    header_bytes: int = 0
+    #: whether ``apply`` changes values
+    lossy: bool = False
+
+    def wire_row_bytes(self, feature_dim: int) -> float:
+        """Bytes one compressed row occupies on a link."""
+        return feature_dim * self.bytes_per_elem + self.header_bytes
+
+    def apply(self, rows: np.ndarray) -> np.ndarray:
+        """Quantize -> dequantize roundtrip (identity when lossless)."""
+        return rows
+
+
+class Fp32Codec(FeatureCodec):
+    """The identity codec: full-precision rows, no transformation."""
+
+
+class Fp16Codec(FeatureCodec):
+    """IEEE half precision on the wire, decoded back to the input dtype."""
+
+    name = "fp16"
+    bytes_per_elem = 2.0
+    lossy = True
+
+    def apply(self, rows: np.ndarray) -> np.ndarray:
+        return rows.astype(np.float16).astype(rows.dtype)
+
+
+class Int8Codec(FeatureCodec):
+    """Per-row affine int8 quantization (scale + offset header).
+
+    Each row is mapped to ``round((x - min) / scale)`` with
+    ``scale = (max - min) / 255``; constant rows quantize exactly.
+    """
+
+    name = "int8"
+    bytes_per_elem = 1.0
+    header_bytes = 8  # float32 scale + float32 offset per row
+
+    lossy = True
+
+    def apply(self, rows: np.ndarray) -> np.ndarray:
+        if rows.size == 0:
+            return rows
+        x = rows.astype(np.float64, copy=False)
+        lo = x.min(axis=1, keepdims=True)
+        hi = x.max(axis=1, keepdims=True)
+        scale = (hi - lo) / 255.0
+        safe = np.where(scale > 0, scale, 1.0)
+        q = np.rint((x - lo) / safe)
+        return (lo + q * np.where(scale > 0, scale, 0.0)).astype(
+            rows.dtype, copy=False
+        )
+
+
+CODECS = {
+    "none": Fp32Codec,
+    "fp32": Fp32Codec,
+    "fp16": Fp16Codec,
+    "int8": Int8Codec,
+}
+
+
+def get_codec(name: "str | FeatureCodec | None") -> FeatureCodec | None:
+    """Resolve a codec spec: ``None``/``"none"``/``"fp32"`` -> ``None``
+    (the exact identity path, no codec object in the loader at all);
+    a codec instance passes through; otherwise look the name up."""
+    if name is None:
+        return None
+    if isinstance(name, FeatureCodec):
+        return name if name.lossy else None
+    try:
+        cls = CODECS[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown feature codec {name!r}; available: {sorted(CODECS)}"
+        ) from None
+    codec = cls()
+    return codec if codec.lossy else None

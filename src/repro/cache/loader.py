@@ -51,13 +51,33 @@ class FeatureLoader:
     """
 
     def __init__(self, features: np.ndarray, store: CacheStore,
-                 plan_cache: PlanCache | bool | None = True):
+                 plan_cache: PlanCache | bool | None = True,
+                 codec=None, dynamic=None):
         if features.ndim != 2:
             raise ConfigError("features must be [num_nodes, dim]")
+        from repro.cache.codec import get_codec
+
         self.features = features
         self.store = store
         self.feature_dim = features.shape[1]
         self.row_bytes = self.feature_dim * features.dtype.itemsize
+        #: optional :class:`~repro.cache.codec.FeatureCodec` — non-local
+        #: rows travel compressed (fewer UVA / NVLink / NIC bytes) and
+        #: pay a decode kernel + quantization roundtrip on arrival.
+        #: ``None`` (and the fp32 codec) is the exact identity path.
+        self.codec = get_codec(codec)
+        self.wire_row_bytes = (
+            self.codec.wire_row_bytes(self.feature_dim)
+            if self.codec is not None else self.row_bytes
+        )
+        #: optional :class:`~repro.cache.dynamic.DynamicCachePolicy`;
+        #: when attached, every load feeds the request stream to it and
+        #: placement changes invalidate the plan cache below
+        self.dynamic = dynamic
+        #: running per-path totals across load() calls (monotonic; the
+        #: perf benchmarks snapshot deltas around a serve run)
+        self.totals = {"local": 0, "remote": 0, "cold": 0,
+                       "cold_bytes": 0.0, "fill": 0}
         if plan_cache is True:
             plan_cache = PlanCache()
         elif plan_cache is False:
@@ -102,7 +122,12 @@ class FeatureLoader:
             remote_row = np.bincount(holders, minlength=k)
         else:
             remote_row = np.zeros(k, dtype=np.int64)
-        plan = FeaturePlan(nodes, n_local, n_remote, n_cold, remote_row)
+        miss_mask = (
+            loc.placement != Placement.LOCAL if self.codec is not None
+            else None
+        )
+        plan = FeaturePlan(nodes, n_local, n_remote, n_cold, remote_row,
+                           miss_mask)
         if cache is not None:
             cache.store(key, plan)
         return plan
@@ -125,14 +150,26 @@ class FeatureLoader:
 
         out: list[np.ndarray] = []
         local_bytes = np.zeros(k, dtype=np.float64)
+        decode_bytes = np.zeros(k, dtype=np.float64)
         cold_items = np.zeros(k, dtype=np.float64)
         remote_rows = np.zeros((k, k), dtype=np.int64)
         stats = {"local": 0, "remote": 0, "cold": 0}
+        codec = self.codec
+        plans: list[FeaturePlan] = []
 
         for g, req in enumerate(requests_per_gpu):
             req = np.ascontiguousarray(np.asarray(req, dtype=np.int64))
             plan = self._plan(g, req, k)
-            out.append(self.features[plan.nodes])
+            plans.append(plan)
+            rows = self.features[plan.nodes]
+            if codec is not None and plan.miss_mask is not None \
+                    and plan.miss_mask.any():
+                # fancy indexing above copied, so in-place is safe
+                rows[plan.miss_mask] = codec.apply(rows[plan.miss_mask])
+                decode_bytes[g] = (
+                    (plan.n_remote + plan.n_cold) * self.row_bytes
+                )
+            out.append(rows)
             stats["local"] += plan.n_local
             stats["remote"] += plan.n_remote
             stats["cold"] += plan.n_cold
@@ -142,7 +179,7 @@ class FeatureLoader:
 
         remote_counts = remote_rows.astype(np.float64)
         pos_req = remote_counts * ID_BYTES
-        feat_resp = remote_counts.T * self.row_bytes
+        feat_resp = remote_counts.T * self.wire_row_bytes
 
         hot_branch = [
             AllToAll(pos_req, label="feat-pos-req"),
@@ -150,16 +187,46 @@ class FeatureLoader:
             LocalKernel("gather", local_bytes, label="feat-local"),
         ]
         cold_branch = [
-            UVAGather(cold_items, item_bytes=self.row_bytes, label="feat-cold")
+            UVAGather(cold_items, item_bytes=self.wire_row_bytes,
+                      label="feat-cold")
         ]
+        if self.dynamic is not None:
+            # feed the (deduplicated) request stream to the dynamic
+            # policy; promoted rows are staged host -> GPU on the cold
+            # path, and a placement change makes every cached plan stale
+            fill = self.dynamic.observe([p.nodes for p in plans])
+            if self.dynamic.placement_changed and self.plan_cache is not None:
+                self.plan_cache.invalidate()
+            if fill.any():
+                # staged rows ride the same (possibly compressed) wire
+                # format as any other host -> GPU feature transfer
+                cold_branch.append(
+                    UVAGather(fill, item_bytes=self.wire_row_bytes,
+                              label="cache-fill")
+                )
+                self.totals["fill"] += int(fill.sum())
         trace = OpTrace()
         trace.add(
             ParallelGroup(branches=(tuple(hot_branch), tuple(cold_branch)),
                           label="feature-load")
         )
+        if codec is not None and decode_bytes.any():
+            trace.add(
+                LocalKernel("decode", decode_bytes, label="feat-decode")
+            )
         stats["local_bytes"] = stats["local"] * self.row_bytes
-        stats["remote_bytes"] = stats["remote"] * self.row_bytes
-        stats["cold_bytes"] = stats["cold"] * self.row_bytes
+        stats["remote_bytes"] = stats["remote"] * self.wire_row_bytes
+        stats["cold_bytes"] = stats["cold"] * self.wire_row_bytes
+        if self.dynamic is not None:
+            stats["dynamic"] = {
+                "promoted": self.dynamic.last_promoted,
+                "demoted": self.dynamic.last_demoted,
+            }
+        totals = self.totals
+        totals["local"] += stats["local"]
+        totals["remote"] += stats["remote"]
+        totals["cold"] += stats["cold"]
+        totals["cold_bytes"] += stats["cold_bytes"]
         return out, trace, stats
 
 

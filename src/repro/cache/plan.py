@@ -53,10 +53,17 @@ class FeaturePlan:
     n_remote: int
     n_cold: int
     remote_row: np.ndarray  # remote hits per holder GPU [k], int64
+    #: True where ``nodes`` is NOT local to the requesting GPU — the
+    #: rows that travel a link and get the codec roundtrip.  Only
+    #: computed (non-None) when the loader has a lossy codec attached.
+    miss_mask: np.ndarray | None = None
 
     @property
     def nbytes(self) -> int:
-        return int(self.nodes.nbytes + self.remote_row.nbytes)
+        n = int(self.nodes.nbytes + self.remote_row.nbytes)
+        if self.miss_mask is not None:
+            n += int(self.miss_mask.nbytes)
+        return n
 
 
 class PlanCache:

@@ -51,8 +51,20 @@ class CacheStore:
         """Global ids cached on ``gpu`` (for memory accounting)."""
         raise NotImplementedError
 
-    def cache_nbytes(self, gpu: int, feature_dim: int) -> int:
-        return len(self.cached_nodes(gpu)) * feature_dim * 4
+    def cache_nbytes(
+        self, gpu: int, feature_dim: int, bytes_per_elem: float = 4.0
+    ) -> int:
+        """Device bytes the cache occupies on ``gpu``.
+
+        ``bytes_per_elem`` parameterizes the stored precision so
+        quantized caches (fp16/int8 residency) account memory
+        correctly; the default matches float32 storage.
+        """
+        if bytes_per_elem <= 0:
+            raise ConfigError("bytes_per_elem must be positive")
+        return int(
+            round(len(self.cached_nodes(gpu)) * feature_dim * bytes_per_elem)
+        )
 
 
 class PartitionedCache(CacheStore):
@@ -83,6 +95,10 @@ class PartitionedCache(CacheStore):
         # hot order, then per part keep the budget_nodes best
         rank = np.empty(num_nodes, dtype=np.int64)
         rank[hot_order] = np.arange(num_nodes)
+        #: layout-time hotness rank (lower = hotter); the dynamic cache
+        #: policy uses it as the deterministic tie-break
+        self.rank = rank
+        self.budget_nodes = int(budget_nodes)
         self.cached = np.zeros(num_nodes, dtype=bool)
         for g in range(self.num_gpus):
             lo, hi = part_offsets[g], part_offsets[g + 1]

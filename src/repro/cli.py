@@ -47,6 +47,28 @@ def _add_workload_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--fanout", default="15,10,5",
                    help="comma-separated per-layer fan-out")
     p.add_argument("--lr", type=float, default=3e-3)
+    p.add_argument("--dynamic-cache", action="store_true",
+                   help="access-frequency cache promotion/demotion on "
+                        "top of the static layout (DSP family; see "
+                        "docs/caching.md)")
+    p.add_argument("--cache-window", type=int, default=8,
+                   help="loader calls per dynamic rebalance window "
+                        "(default 8)")
+    p.add_argument("--cache-ewma", type=float, default=0.5,
+                   help="EWMA weight of the newest window (default 0.5)")
+    p.add_argument("--cache-prefetch", type=int, default=32,
+                   help="max frontier-prefetch promotions per patch per "
+                        "load, 0 = off (default 32)")
+    p.add_argument("--cache-bias", type=float, default=0.0,
+                   help="GNS-style sampling bias toward cached nodes "
+                        "(default 0 = off, bit-identical sampling)")
+    p.add_argument("--compress", default="none",
+                   choices=["none", "fp16", "int8"],
+                   help="cold-path feature codec: non-local rows travel "
+                        "compressed and decode on arrival (default none)")
+    p.add_argument("--cache-bytes", type=float, default=None,
+                   help="per-GPU feature cache budget in bytes (default: "
+                        "whatever fits device memory)")
     p.add_argument("--seed", type=int, default=0)
 
 
@@ -61,6 +83,13 @@ def _config(args) -> RunConfig:
         batch_size=args.batch_size,
         fanout=tuple(int(f) for f in args.fanout.split(",")),
         lr=args.lr,
+        dynamic_cache=args.dynamic_cache,
+        cache_window=args.cache_window,
+        cache_ewma=args.cache_ewma,
+        cache_prefetch=args.cache_prefetch,
+        cache_bias=args.cache_bias,
+        compress=args.compress,
+        feature_cache_bytes=args.cache_bytes,
         seed=args.seed,
     )
 
@@ -184,6 +213,7 @@ def cmd_serve(args) -> int:
         num_requests=args.requests,
         arrival=args.arrival,
         skew=args.skew,
+        drift_phases=args.drift_phases,
         seed=args.seed,
     )
     systems = [s for s in args.systems.split(",") if s]
@@ -208,6 +238,19 @@ def cmd_serve(args) -> int:
             workload = make_workload(
                 wl_cfg, np.arange(system.base_dataset.num_nodes)
             )
+        warm_nodes = None
+        if args.cache_warmup > 0:
+            dyn = getattr(getattr(system, "loader", None), "dynamic", None)
+            if dyn is not None:
+                hist = workload.nodes[: args.cache_warmup]
+                numbering = getattr(system, "numbering", None)
+                if numbering is not None:
+                    hist = numbering.old_to_new[hist]
+                promoted = dyn.warm(hist)
+                dyn._warm_applied = True  # sweep workers re-warm theirs
+                warm_nodes = hist
+                print(f"{name}: warmed dynamic cache from "
+                      f"{len(hist)} requests ({promoted} rows promoted)")
         trace_base = None
         if args.trace_base:
             from repro.obs import run_trace_path
@@ -232,6 +275,7 @@ def cmd_serve(args) -> int:
                 system, workload, qps_values, serve_cfg,
                 workers=args.workers, trace_base=trace_base,
                 metrics=args.metrics, metrics_window_s=metrics_window_s,
+                warm_nodes=warm_nodes,
             )
         for p in points:
             r = p.report
@@ -587,6 +631,14 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=["poisson", "bursty", "diurnal"])
     p.add_argument("--skew", type=float, default=0.8,
                    help="Zipf popularity exponent for seed nodes")
+    p.add_argument("--drift-phases", type=int, default=1,
+                   help="popularity-drift phases: the Zipf hot set "
+                        "permutes this many times over the request "
+                        "stream (default 1 = stationary)")
+    p.add_argument("--cache-warmup", type=int, default=0,
+                   help="seed the dynamic cache from the first N "
+                        "workload requests before the sweep (needs "
+                        "--dynamic-cache; default 0 = off)")
     p.add_argument("--functional", action="store_true",
                    help="run the real forward pass and report accuracy")
     p.add_argument("--invariants", action="store_true",
@@ -626,8 +678,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--benches", default="",
                    help="comma-separated subset of: csp_layer, "
                         "feature_load, epoch, serve_batch, sweep, "
-                        "chaos_scenario, multinode_epoch, engine_core "
-                        "(default all)")
+                        "chaos_scenario, multinode_epoch, engine_core, "
+                        "cache_dynamic (default all)")
     p.add_argument("--workers", type=int, default=1,
                    help="worker processes, one task per benchmark "
                         "(default 1 = serial)")

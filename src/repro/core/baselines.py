@@ -127,7 +127,7 @@ class Quiver(TrainingSystem):
         cfg = self.config
         self.data = self.base_dataset
         self.sampler = UVASampler(self.data.graph, self.k, seed=cfg.seed)
-        row_bytes = self.data.feature_dim * 4
+        row_bytes = self.data.feature_dim * self.data.features.dtype.itemsize
         budget_bytes = cfg.feature_cache_bytes
         if budget_bytes is None:
             # raw cudaMalloc management fragments memory and needs big

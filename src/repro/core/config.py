@@ -61,6 +61,21 @@ class RunConfig:
     #: cross-server NIC preset for multi-node runs: "ethernet" (100 GbE)
     #: or "infiniband" (HDR); ignored when ``num_nodes == 1``
     nic: str = "ethernet"
+    #: access-frequency dynamic feature caching (DSP family only; see
+    #: ``docs/caching.md``) — off by default, in which case the cache
+    #: is the paper's static layout-time placement
+    dynamic_cache: bool = False
+    #: loader calls per dynamic promotion/demotion window
+    cache_window: int = 8
+    #: EWMA weight of the newest window's request counts
+    cache_ewma: float = 0.5
+    #: max frontier-prefetch promotions per patch per load (0 = off)
+    cache_prefetch: int = 32
+    #: GNS-style cached-node sampling bias (0 = off, bit-identical to
+    #: a sampler without the hook)
+    cache_bias: float = 0.0
+    #: cold-path feature codec: "none" | "fp16" | "int8"
+    compress: str = "none"
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -84,6 +99,16 @@ class RunConfig:
             raise ConfigError("num_nodes must be positive")
         if self.nic not in ("ethernet", "infiniband"):
             raise ConfigError(f"unknown nic {self.nic!r}")
+        if self.cache_window < 1:
+            raise ConfigError("cache_window must be positive")
+        if not 0.0 < self.cache_ewma <= 1.0:
+            raise ConfigError("cache_ewma must be in (0, 1]")
+        if self.cache_prefetch < 0:
+            raise ConfigError("cache_prefetch must be non-negative")
+        if self.cache_bias < 0:
+            raise ConfigError("cache_bias must be non-negative")
+        if self.compress not in ("none", "fp16", "int8"):
+            raise ConfigError(f"unknown codec {self.compress!r}")
         if self.num_nodes > 1 and self.comm_backend == "nvshmem":
             raise ConfigError(
                 "nvshmem needs a full NVLink mesh; multi-node clusters "

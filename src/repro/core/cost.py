@@ -187,7 +187,10 @@ class CostEngine:
             work = float(op.work[g])
             if op.kind == "sample":
                 spec = sampling_kernel(gpu, num_tasks=work, fanout=1)
-            elif op.kind == "gather":
+            elif op.kind in ("gather", "decode"):
+                # decode: expanding compressed feature rows is a
+                # bandwidth-bound pass over the decoded bytes, the same
+                # roofline as a gather of that volume
                 spec = gather_kernel(gpu, nbytes=work)
             elif op.kind == "compute":
                 spec = compute_kernel(

@@ -80,19 +80,26 @@ def plan_layout(
     topology_cache_bytes: float | None = None,
     graph=None,
     workspace_fraction: float = WORKSPACE_FRACTION,
+    bytes_per_elem: float | None = None,
 ) -> DSPLayout:
     """Plan DSP's per-GPU memory layout.
 
     ``dataset.graph`` (or ``graph`` if given) must already be
     renumbered to ``part_offsets``.  ``hot_order`` ranks global node
     ids hottest-first (used for both adjacency and feature residency).
+    ``bytes_per_elem`` sizes one feature element for the budget math;
+    ``None`` reads it off the dataset's feature dtype.
     """
     graph = dataset.graph if graph is None else graph
     part_offsets = np.asarray(part_offsets, dtype=np.int64)
     k = len(part_offsets) - 1
     if k != cluster.num_gpus:
         raise ConfigError("partition does not match cluster size")
-    row_bytes = dataset.feature_dim * 4
+    if bytes_per_elem is None:
+        bytes_per_elem = float(dataset.features.dtype.itemsize)
+    if bytes_per_elem <= 0:
+        raise ConfigError("bytes_per_elem must be positive")
+    row_bytes = dataset.feature_dim * bytes_per_elem
 
     rank = np.empty(graph.num_nodes, dtype=np.int64)
     rank[hot_order] = np.arange(graph.num_nodes)
@@ -143,7 +150,8 @@ def plan_layout(
     store = PartitionedCache(part_offsets, hot_order, feature_budget_nodes or 0)
     for g in range(k):
         memory[g].reserve(
-            "feature-cache", store.cache_nbytes(g, dataset.feature_dim)
+            "feature-cache",
+            store.cache_nbytes(g, dataset.feature_dim, bytes_per_elem),
         )
     return DSPLayout(
         part_offsets=part_offsets,

@@ -469,9 +469,39 @@ class DSP(TrainingSystem):
         self.sampler = CollectiveSampler(
             self.layout.patches, numbering.part_offsets, seed=cfg.seed
         )
-        self.loader = FeatureLoader(self.data.features, self.layout.store)
+        dynamic = None
+        if cfg.dynamic_cache:
+            from repro.cache.dynamic import DynamicCacheConfig, DynamicCachePolicy
+
+            dynamic = DynamicCachePolicy(
+                self.layout.store,
+                DynamicCacheConfig(
+                    window=cfg.cache_window,
+                    ewma=cfg.cache_ewma,
+                    prefetch_quota=cfg.cache_prefetch,
+                ),
+            )
+        codec = None if cfg.compress == "none" else cfg.compress
+        self.loader = FeatureLoader(
+            self.data.features, self.layout.store, codec=codec,
+            dynamic=dynamic,
+        )
+        if cfg.cache_bias > 0:
+            # GNS-style biased sampling toward cached nodes; samplers
+            # without the hook (e.g. PullDSP's host sampler) skip it
+            if hasattr(self.sampler, "set_cache_bias"):
+                self.sampler.set_cache_bias(self.layout.store, cfg.cache_bias)
+            if dynamic is not None:
+                dynamic.on_change.append(self._refresh_cache_bias)
         self._topo_cold = self.layout.topo_cold_global()
         self._has_cold_topo = bool(self._topo_cold.any())
+
+    def _refresh_cache_bias(self) -> None:
+        """Rebuild the sampler's biased edge weights after the dynamic
+        policy moved nodes in or out of the cache."""
+        refresh = getattr(self.sampler, "refresh_cache_bias", None)
+        if refresh is not None:
+            refresh()
 
     def _assign_seeds(self, seeds: np.ndarray) -> list[np.ndarray]:
         """Co-partition seeds with graph patches (§3.1).

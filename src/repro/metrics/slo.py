@@ -176,6 +176,12 @@ def serve_summary(registry: MetricsRegistry, slo_s: float,
         paths[labels["path"]] = {"total": c.total, "windows": c.series()}
     if paths:
         cache["feature"] = paths
+    for counter, key in (("cache_hit", "hits"),
+                         ("cache_promote", "promotions"),
+                         ("cache_demote", "demotions")):
+        series = _counter_series(reg, counter)
+        if series is not None:
+            cache[key] = series
     hits = reg.find("gauge", "plan_cache_hits")
     misses = reg.find("gauge", "plan_cache_misses")
     if hits is not None and misses is not None:

@@ -140,6 +140,16 @@ def _serve_point(spec: RunSpec):
 
     p = spec.payload
     system = _shared_system(p["system"], p["config"])
+    warm_nodes = p.get("warm_nodes")
+    if warm_nodes is not None:
+        # seed the dynamic cache policy from workload history, once per
+        # process: the warmed placement becomes the baseline every
+        # serve_once resets to, so points are byte-identical whichever
+        # worker executes them
+        dyn = getattr(getattr(system, "loader", None), "dynamic", None)
+        if dyn is not None and not getattr(dyn, "_warm_applied", False):
+            dyn.warm(warm_nodes)
+            dyn._warm_applied = True
     tracer = None
     if spec.trace_path:
         from repro.obs import Tracer

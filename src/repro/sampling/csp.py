@@ -120,6 +120,71 @@ class CollectiveSampler:
         # scratch flag array for bounded-domain dedup (fast path): node
         # ids are < part_offsets[-1], so "unique" is a scatter + scan
         self._seen = np.zeros(int(part_offsets[-1]), dtype=bool)
+        # GNS-style cached-node bias (opt-in via set_cache_bias); when
+        # None — the default — every sampling call below is exactly the
+        # unbiased/original code path, bit for bit
+        self._bias_store = None
+        self._bias = 0.0
+        self._bias_patches: list[GraphPatch] | None = None
+
+    # ------------------------------------------------------------------
+    # cached-node biased sampling (Global Neighbor Sampling, opt-in)
+    # ------------------------------------------------------------------
+    def set_cache_bias(self, store, bias: float) -> None:
+        """Skew neighbour draws toward cache-resident nodes.
+
+        Each edge's weight is multiplied by ``1 + bias * cached[dst]``
+        (on top of the graph's own edge weights when present), so a
+        neighbour already resident in the feature cache is ``1 + bias``
+        times more likely to be drawn — Global Neighbor Sampling's
+        importance-sampling trick, which raises the loader's hit rate
+        without changing which nodes *can* be sampled.  ``bias = 0``
+        disables the hook entirely: the sampler then runs the exact
+        same code (and RNG stream) as one that never saw this call.
+
+        ``store`` must expose a boolean ``cached`` array over global
+        node ids (both partitioned and replicated stores do).  Call
+        :meth:`refresh_cache_bias` after the store's resident set
+        changes (the dynamic cache policy does this via ``on_change``).
+        """
+        if bias < 0:
+            raise ConfigError("cache bias must be non-negative")
+        if bias > 0 and getattr(store, "cached", None) is None:
+            raise ConfigError(
+                "cache bias needs a store with a 'cached' node mask"
+            )
+        self._bias = float(bias)
+        self._bias_store = store if bias > 0 else None
+        self.refresh_cache_bias()
+
+    def refresh_cache_bias(self) -> None:
+        """Rebuild the biased edge weights from the store's current
+        resident set (cheap: one multiply per patch's edge array)."""
+        if self._bias_store is None:
+            self._bias_patches = None
+            return
+        cached = self._bias_store.cached
+        patches = []
+        for patch in self.patches:
+            boost = 1.0 + self._bias * cached[patch.indices]
+            w = (
+                boost if patch.weights is None
+                else patch.weights.astype(np.float64) * boost
+            )
+            patches.append(
+                GraphPatch(patch.base, patch.indptr, patch.indices,
+                           weights=w)
+            )
+        self._bias_patches = patches
+
+    def _sampling_patches(
+        self, config: CSPConfig
+    ) -> tuple[list[GraphPatch], bool]:
+        """The patch list and biased flag the sample kernels should use
+        (identity unless cache bias is active)."""
+        if self._bias_patches is None:
+            return self.patches, config.biased
+        return self._bias_patches, True
 
     @classmethod
     def from_partitioned(
@@ -303,7 +368,8 @@ class CollectiveSampler:
         counts_sorted = np.empty(n, dtype=np.int64)
         src_parts: list[np.ndarray] = []
         kernel_work = np.zeros(k, dtype=np.float64)
-        for o, patch in enumerate(self.patches):
+        patches, biased = self._sampling_patches(config)
+        for o, patch in enumerate(patches):
             lo, hi = owner_bounds[o], owner_bounds[o + 1]
             src_o, cnt_o = sample_neighbors(
                 patch,
@@ -311,7 +377,7 @@ class CollectiveSampler:
                 quota_sorted[lo:hi],
                 rng=self.rngs[o],
                 replace=config.replace,
-                biased=config.biased,
+                biased=biased,
             )
             counts_sorted[lo:hi] = cnt_o
             src_parts.append(src_o)
@@ -401,7 +467,8 @@ class CollectiveSampler:
 
         slice_bounds = [np.concatenate([[0], np.cumsum(owner_counts[g])])
                         for g in range(k)]
-        for o, patch in enumerate(self.patches):
+        patches, biased = self._sampling_patches(config)
+        for o, patch in enumerate(patches):
             task_chunks, quota_chunks, origin_sizes = [], [], []
             for g in range(k):
                 lo, hi = slice_bounds[g][o], slice_bounds[g][o + 1]
@@ -417,7 +484,7 @@ class CollectiveSampler:
                 quota,
                 rng=self.rngs[o],
                 replace=config.replace,
-                biased=config.biased,
+                biased=biased,
             )
             kernel_work[o] = float(counts.sum())
             # split the results back per origin

@@ -322,12 +322,23 @@ class GNNServer:
                     tracer.counter("plan-cache", "plan-cache", sim.now,
                                    hits=plan_cache.hits,
                                    misses=plan_cache.misses)
+                dyn = stats.pop("dynamic", None)
                 if met is not None:
                     for path, n in stats.items():
                         if n:
                             met.counter("feature_requests", path=path).inc(
                                 sim.now, n
                             )
+                    hits = stats["local"] + stats["remote"]
+                    if hits:
+                        met.counter("cache_hit").inc(sim.now, hits)
+                    if dyn is not None:
+                        if dyn["promoted"]:
+                            met.counter("cache_promote").inc(
+                                sim.now, dyn["promoted"])
+                        if dyn["demoted"]:
+                            met.counter("cache_demote").inc(
+                                sim.now, dyn["demoted"])
                     if plan_cache is not None:
                         met.gauge("plan_cache_hits").set(
                             sim.now, plan_cache.hits)

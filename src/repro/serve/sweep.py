@@ -38,6 +38,15 @@ def _reseed_sampler(system) -> None:
         sampler.rngs = spawn_rngs(make_rng(system.config.seed), len(rngs))
 
 
+def _reset_dynamic(system) -> None:
+    """Return the dynamic cache policy — and the shared store it
+    mutates — to the post-warmup baseline, so each sweep point starts
+    from the same placement whichever worker executes it."""
+    dyn = getattr(getattr(system, "loader", None), "dynamic", None)
+    if dyn is not None:
+        dyn.reset()
+
+
 def _reset_plan_cache(system) -> None:
     """Return the feature-path plan cache to its freshly-built state.
 
@@ -78,6 +87,7 @@ def serve_once(
     is bit-identical to one produced before the metrics layer existed.
     """
     _reseed_sampler(system)
+    _reset_dynamic(system)
     _reset_plan_cache(system)
     invariants = None
     if config is not None and config.check_invariants:
@@ -114,6 +124,7 @@ def qps_sweep(
     trace_base=None,
     metrics: bool = False,
     metrics_window_s: float | None = None,
+    warm_nodes=None,
 ) -> list[SweepPoint]:
     """Serve the workload at each offered load, in increasing order.
 
@@ -133,6 +144,13 @@ def qps_sweep(
     ``metrics=True`` attaches a windowed metrics registry per point
     (see :func:`serve_once`); the summaries ride on each report and are
     byte-identical across ``workers`` settings.
+
+    ``warm_nodes`` (renumbered node ids) seeds the dynamic cache policy
+    from workload history *inside each executing process*, exactly once
+    — worker processes rebuild the system from its config, so warmup
+    applied only to the caller's system would make results depend on
+    which process served a point.  Ignored when the system has no
+    dynamic policy.
     """
     from repro.obs.export import run_trace_path
     from repro.parallel import RunSpec, adopt_system, run_tasks
@@ -153,6 +171,7 @@ def qps_sweep(
                 "serve_config": config,
                 "metrics": metrics,
                 "metrics_window_s": metrics_window_s,
+                "warm_nodes": warm_nodes,
             },
             trace_path=(
                 run_trace_path(trace_base, f"qps{q:g}") if trace_base else None

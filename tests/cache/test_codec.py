@@ -1,0 +1,126 @@
+"""Tests for cold-path feature compression codecs.
+
+The codec contract (docs/caching.md): ``wire_row_bytes`` prices
+non-local transfers, ``apply`` performs the functional quantization
+roundtrip, and the no-codec path stays bit-identical to a loader built
+before codecs existed.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cache.codec import CODECS, Fp16Codec, Int8Codec, get_codec
+from repro.cache.loader import FeatureLoader
+from repro.cache.store import PartitionedCache
+from repro.utils import ConfigError
+
+
+class TestWireModel:
+    def test_fp16_halves_payload(self):
+        assert Fp16Codec().wire_row_bytes(128) == 256.0
+
+    def test_int8_quarter_plus_header(self):
+        assert Int8Codec().wire_row_bytes(128) == 128.0 + 8.0
+
+    def test_lossless_resolves_to_none(self):
+        assert get_codec(None) is None
+        assert get_codec("none") is None
+        assert get_codec("fp32") is None
+
+    def test_instance_passthrough(self):
+        codec = Fp16Codec()
+        assert get_codec(codec) is codec
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ConfigError):
+            get_codec("zstd")
+
+    def test_registry_covers_cli_choices(self):
+        assert {"none", "fp32", "fp16", "int8"} <= set(CODECS)
+
+
+class TestRoundtrip:
+    def test_fp16_error_bounded(self):
+        rng = np.random.default_rng(0)
+        rows = rng.normal(size=(32, 64)).astype(np.float32)
+        out = Fp16Codec().apply(rows)
+        assert out.dtype == rows.dtype
+        # half precision: ~2^-11 relative error
+        np.testing.assert_allclose(out, rows, rtol=1e-3, atol=1e-3)
+        assert not np.array_equal(out, rows)  # actually lossy
+
+    def test_int8_error_bounded_by_row_range(self):
+        rng = np.random.default_rng(1)
+        rows = (10 * rng.normal(size=(32, 64))).astype(np.float32)
+        out = Int8Codec().apply(rows)
+        span = rows.max(axis=1) - rows.min(axis=1)
+        err = np.abs(out - rows).max(axis=1)
+        assert (err <= span / 255.0 + 1e-6).all()
+
+    def test_int8_constant_rows_exact(self):
+        rows = np.full((4, 16), 3.25, dtype=np.float32)
+        np.testing.assert_array_equal(Int8Codec().apply(rows), rows)
+
+    def test_int8_empty_rows(self):
+        rows = np.empty((0, 16), dtype=np.float32)
+        assert Int8Codec().apply(rows).shape == (0, 16)
+
+
+def _setup(n=64, k=2, dim=8, budget=8):
+    rng = np.random.default_rng(2)
+    offsets = np.linspace(0, n, k + 1).astype(np.int64)
+    store = PartitionedCache(offsets, rng.permutation(n),
+                             budget_nodes=budget)
+    features = rng.normal(size=(n, dim)).astype(np.float32)
+    requests = [rng.integers(0, n, size=24) for _ in range(k)]
+    return features, store, requests
+
+
+class TestLoaderIntegration:
+    def test_no_codec_bit_identical(self):
+        """codec=None and codec="none" are the exact pre-codec path."""
+        features, store, requests = _setup()
+        plain = FeatureLoader(features, store)
+        none = FeatureLoader(features, store, codec="none")
+        out_a, _, stats_a = plain.load(requests)
+        out_b, _, stats_b = none.load(requests)
+        assert none.codec is None
+        assert stats_a == stats_b
+        for a, b in zip(out_a, out_b):
+            np.testing.assert_array_equal(a, b)
+
+    def test_local_rows_full_precision_misses_roundtripped(self):
+        features, store, requests = _setup()
+        loader = FeatureLoader(features, store, codec="fp16")
+        out, _, _ = loader.load(requests)
+        codec = Fp16Codec()
+        for g, req in enumerate(requests):
+            nodes = np.unique(req)
+            loc = store.locate(nodes, g)
+            exact = features[nodes]
+            local = loc.placement == 0  # Placement.LOCAL
+            np.testing.assert_array_equal(out[g][local], exact[local])
+            np.testing.assert_array_equal(
+                out[g][~local], codec.apply(exact[~local])
+            )
+
+    def test_codec_reduces_cold_and_remote_bytes(self):
+        features, store, requests = _setup()
+        plain = FeatureLoader(features, store)
+        fp16 = FeatureLoader(features, store, codec="fp16")
+        _, _, stats_a = plain.load(requests)
+        _, _, stats_b = fp16.load(requests)
+        assert stats_b["cold"] == stats_a["cold"]
+        assert stats_b["cold_bytes"] == stats_a["cold_bytes"] / 2
+        assert stats_b["remote_bytes"] == stats_a["remote_bytes"] / 2
+        assert stats_b["local_bytes"] == stats_a["local_bytes"]
+
+    def test_decode_kernel_priced_on_miss_rows(self):
+        features, store, requests = _setup()
+        loader = FeatureLoader(features, store, codec="int8")
+        _, trace, stats = loader.load(requests)
+        labels = [op.label for op in trace.ops]
+        assert "feat-decode" in labels
+        decode = trace.ops[labels.index("feat-decode")]
+        misses = stats["remote"] + stats["cold"]
+        assert decode.work.sum() == misses * loader.row_bytes

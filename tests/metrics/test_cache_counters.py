@@ -1,0 +1,113 @@
+"""Cache counters on the serving metrics path.
+
+Satellite contracts: ``cache_hit`` / ``cache_promote`` /
+``cache_demote`` counters ride the windowed serve summary, agree with
+the loader's own path accounting, are byte-identical across
+``--workers`` settings, and cost nothing when metrics are off (the
+report is bit-identical to an uninstrumented run).
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import RunConfig, build_system
+from repro.serve import (
+    ServeConfig,
+    WorkloadConfig,
+    make_workload,
+    qps_sweep,
+    serve_once,
+)
+
+CACHE_BYTES = 50 * 16 * 4.0  # 50 rows/GPU on tiny (dim 16, fp32)
+BASE = dict(dataset="tiny", num_gpus=2, hidden_dim=16, batch_size=8,
+            fanout=(12,), feature_cache_bytes=CACHE_BYTES, seed=3)
+DYNAMIC = dict(dynamic_cache=True, cache_window=2, cache_ewma=0.3,
+               cache_prefetch=16)
+
+
+def _workload(system, requests=160):
+    return make_workload(
+        WorkloadConfig(num_requests=requests, skew=1.5, drift_phases=2,
+                       seed=7),
+        np.arange(system.base_dataset.num_nodes),
+    )
+
+
+@pytest.fixture(scope="module")
+def dynamic_summary():
+    system = build_system("DSP", RunConfig(**BASE, **DYNAMIC))
+    wl = _workload(system)
+    report = serve_once(system, wl, 2e6, ServeConfig(functional=False),
+                        metrics=True)
+    return report.metrics, dict(system.loader.totals)
+
+
+class TestCounters:
+    def test_dynamic_run_exports_all_three(self, dynamic_summary):
+        cache = dynamic_summary[0]["cache"]
+        assert cache["hits"]["total"] > 0
+        assert cache["promotions"]["total"] > 0
+        assert cache["demotions"]["total"] > 0
+        # partitioned residency: every promotion evicts exactly one row
+        assert cache["promotions"]["total"] == cache["demotions"]["total"]
+
+    def test_hits_agree_with_loader_paths(self, dynamic_summary):
+        summary, totals = dynamic_summary
+        cache = summary["cache"]
+        feature = cache["feature"]
+        assert cache["hits"]["total"] == (
+            feature["local"]["total"] + feature["remote"]["total"]
+        )
+        assert feature["local"]["total"] + feature["remote"]["total"] == (
+            totals["local"] + totals["remote"]
+        )
+
+    def test_static_run_has_no_promotion_counters(self):
+        system = build_system("DSP", RunConfig(**BASE))
+        wl = _workload(system)
+        report = serve_once(system, wl, 2e6, ServeConfig(functional=False),
+                            metrics=True)
+        cache = report.metrics["cache"]
+        assert cache["hits"]["total"] > 0
+        assert "promotions" not in cache
+        assert "demotions" not in cache
+
+
+class TestWorkerDeterminism:
+    def test_counters_byte_identical_across_workers(self):
+        wl = _workload(build_system("DSP", RunConfig(**BASE, **DYNAMIC)))
+        blobs = {}
+        for workers in (1, 2):
+            system = build_system("DSP", RunConfig(**BASE, **DYNAMIC))
+            points = qps_sweep(system, wl, [1000.0, 4000.0],
+                               ServeConfig(functional=False),
+                               workers=workers, metrics=True)
+            blobs[workers] = json.dumps(
+                [p.report.metrics["cache"] for p in points], sort_keys=True
+            )
+        assert blobs[1] == blobs[2]
+
+
+class TestZeroCostOff:
+    def test_report_identical_with_metrics_off(self):
+        """The counters exist only inside the registry: with metrics
+        off the report matches field for field, and the loader's own
+        totals are untouched by instrumentation."""
+        totals = {}
+        reports = {}
+        for metrics in (False, True):
+            system = build_system("DSP", RunConfig(**BASE, **DYNAMIC))
+            wl = _workload(system)
+            reports[metrics] = serve_once(
+                system, wl, 2e6, ServeConfig(functional=False),
+                metrics=metrics,
+            )
+            totals[metrics] = dict(system.loader.totals)
+        d_off, d_on = reports[False].to_dict(), reports[True].to_dict()
+        assert "metrics" not in d_off
+        d_on.pop("metrics")
+        assert d_off == d_on
+        assert totals[False] == totals[True]
