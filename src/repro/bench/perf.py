@@ -77,7 +77,7 @@ SCHEMA_VERSION = 2
 
 BENCH_NAMES = ("csp_layer", "feature_load", "epoch", "serve_batch", "sweep",
                "chaos_scenario", "multinode_epoch", "engine_core",
-               "cache_dynamic")
+               "cache_dynamic", "control_loop")
 
 
 # ----------------------------------------------------------------------
@@ -863,6 +863,86 @@ def bench_cache_dynamic(quick: bool = False, clock="wall") -> dict:
     }
 
 
+def bench_control_loop(quick: bool = False, clock="wall") -> dict:
+    """Serving under a tight SLO: static knobs vs the online controller.
+
+    Like ``cache_dynamic`` this compares *policies*: *before* is the
+    static batcher configuration, *after* is the same serve with the
+    :class:`~repro.control.ServeController` closing the loop on the
+    streaming SLO burn rate.  The workload is the diurnal stream whose
+    peak pushes p99 past a deliberately tight SLO (the latency floor of
+    this pipeline is the batch max-wait itself, so the SLO sits at that
+    floor and the controller's max-wait cuts are the only way out).
+
+    The gated ``speedup`` is the simulated SLO-minutes ratio
+    ``(static + w) / (controlled + w)`` with ``w`` one SLO window in
+    minutes — a pure function of the simulation, so it transfers
+    across machines exactly; the wall columns additionally price the
+    controller's bookkeeping overhead on the same run.
+    """
+    from repro.control import ControllerConfig
+    from repro.core import RunConfig, build_system
+    from repro.serve import (
+        ServeConfig,
+        WorkloadConfig,
+        make_workload,
+        serve_once,
+    )
+
+    tick = _make_clock(clock)
+    requests = 384 if quick else 1536
+    qps = 3000.0
+    slo_s = 2e-3
+    system = build_system(
+        "DSP",
+        RunConfig(dataset="tiny", num_gpus=2, hidden_dim=16, batch_size=8,
+                  fanout=(5, 3), seed=3),
+    )
+    workload = make_workload(
+        WorkloadConfig(num_requests=requests, arrival="diurnal", seed=5),
+        np.arange(system.base_dataset.num_nodes),
+    )
+    static_cfg = ServeConfig(slo_s=slo_s)
+    ctl_cfg = ServeConfig(slo_s=slo_s, controller=ControllerConfig())
+
+    def pass_(cfg):
+        w0 = tick()
+        report = serve_once(system, workload, qps, cfg, metrics=True)
+        wall = tick() - w0
+        return wall, report
+
+    wall_before, rep_static = pass_(static_cfg)
+    wall_after, rep_ctl = pass_(ctl_cfg)
+    slo_static = rep_static.metrics["slo"]["slo_minutes_violated"]
+    slo_ctl = rep_ctl.metrics["slo"]["slo_minutes_violated"]
+    window_min = slo_s / 60.0
+    control = rep_ctl.control or {}
+    return {
+        "params": {
+            "dataset": "tiny",
+            "num_gpus": 2,
+            "requests": requests,
+            "qps": qps,
+            "slo_s": slo_s,
+            "arrival": "diurnal",
+        },
+        "wall_s_before": wall_before,
+        "wall_s_after": wall_after,
+        "speedup": (slo_static + window_min) / (slo_ctl + window_min),
+        "batches_per_s": requests / wall_after if wall_after else 0.0,
+        "slo_minutes_static": slo_static,
+        "slo_minutes_controller": slo_ctl,
+        "p99_static_us": rep_static.p99 * 1e6,
+        "p99_controller_us": rep_ctl.p99 * 1e6,
+        "goodput_qps_static": rep_static.goodput_qps,
+        "goodput_qps_controller": rep_ctl.goodput_qps,
+        "controller_actions": sum(
+            control.get("action_counts", {}).values()
+        ),
+        "controller_final": control.get("final", {}),
+    }
+
+
 _BENCHES = {
     "csp_layer": bench_csp_layer,
     "feature_load": bench_feature_load,
@@ -873,6 +953,7 @@ _BENCHES = {
     "multinode_epoch": bench_multinode_epoch,
     "engine_core": bench_engine_core,
     "cache_dynamic": bench_cache_dynamic,
+    "control_loop": bench_control_loop,
 }
 
 

@@ -26,6 +26,14 @@ Checked invariants:
 ``no-lost-batches``
     Every (gpu, stage, batch) triple either completed or was explicitly
     recorded as lost to an injected fault; nothing vanishes silently.
+``tenant-quota``
+    Multi-tenant admission never holds more of a tenant's requests in
+    one admission queue than that tenant's quota slots allow (checked
+    at every admission, independently of the batcher's own counters).
+``scale-safety``
+    The replica autoscaler never routes a request to a replica after
+    that replica was retired — scale-down drains, it never drops
+    in-flight work.
 """
 
 from __future__ import annotations
@@ -63,6 +71,8 @@ class InvariantChecker:
         self.completed: set = set()
         #: (gpu, stage, batch) -> reason, for batches lost to faults
         self.lost: dict = {}
+        #: replica -> retirement time (autoscaler scale-safety audit)
+        self._retired: dict = {}
         self.finalized = False
 
     # -- failure path ----------------------------------------------------
@@ -133,6 +143,35 @@ class InvariantChecker:
                   reason: str) -> None:
         """Record a (gpu, stage, batch) that will never complete and why."""
         self.lost[(gpu, stage, batch)] = reason
+
+    def on_admit(self, queue: str, tenant: str, pending: int,
+                 quota: int) -> None:
+        """Multi-tenant admission audit: called by the batcher after
+        admitting a request, with the tenant's post-admission pending
+        count and its quota ceiling for this queue."""
+        self.checks += 1
+        if pending > quota:
+            self._fail(
+                "tenant-quota",
+                f"{queue}: tenant {tenant!r} holds {pending} pending "
+                f"requests > quota {quota}",
+            )
+
+    def on_retire(self, replica: int, t: float) -> None:
+        """Autoscaler audit: replica stops accepting work at ``t``."""
+        self._retired[replica] = t
+
+    def on_assign(self, replica: int, arrival: float) -> None:
+        """Autoscaler audit: a request arriving at ``arrival`` was
+        routed to ``replica`` — must precede any retirement."""
+        self.checks += 1
+        t = self._retired.get(replica)
+        if t is not None and arrival > t:
+            self._fail(
+                "scale-safety",
+                f"request at t={arrival:g}s routed to replica "
+                f"{replica} retired at t={t:g}s",
+            )
 
     # -- end-of-run reconciliation ---------------------------------------
     def finalize(self, expected_bytes: dict | None = None,

@@ -157,12 +157,20 @@ def run_scenario(
     max_batches: int | None = 4,
     requests: int = 64,
     qps: float = 2000.0,
+    controller=None,
 ) -> dict:
-    """One ``(system, scenario)`` cell -> a JSON-safe result dict."""
+    """One ``(system, scenario)`` cell -> a JSON-safe result dict.
+
+    ``controller`` (a :class:`repro.control.ControllerConfig`) makes
+    serve-mode cells run a *third* pass — same faults, tuner on — and
+    adds ``slo_minutes_violated_controller`` / ``controller_actions``
+    to the cell, quantifying what closing the loop buys per scenario.
+    Train-mode cells ignore it (there is no batcher to tune).
+    """
     sc = _get(scenario)
     if sc.mode == "serve":
         return _run_serve_scenario(system_name, sc, config, chaos_config,
-                                   requests, qps)
+                                   requests, qps, controller=controller)
     return _run_train_scenario(system_name, sc, config, chaos_config,
                                max_batches)
 
@@ -252,7 +260,8 @@ def _serve_pass(system_name: str, config, serve_cfg, workload, qps: float,
 
 def _run_serve_scenario(system_name: str, sc: Scenario, config,
                         chaos_config: ChaosConfig | None,
-                        requests: int, qps: float) -> dict:
+                        requests: int, qps: float,
+                        controller=None) -> dict:
     import numpy as np
 
     from repro.core import build_system
@@ -278,7 +287,15 @@ def _run_serve_scenario(system_name: str, sc: Scenario, config,
         )
     except InvariantViolation:
         outcome = "invariant-violation"
-    return {
+    ctl_report = ctl_slo = None
+    if controller is not None and outcome == "completed":
+        from dataclasses import replace as _dc_replace
+
+        ctl_cfg = _dc_replace(serve_cfg, controller=controller)
+        ctl_report, _, ctl_slo, _ = _serve_pass(
+            system_name, config, ctl_cfg, workload, qps, cc, plan
+        )
+    out = {
         "system": system_name,
         "scenario": sc.name,
         "mode": "serve",
@@ -305,6 +322,20 @@ def _run_serve_scenario(system_name: str, sc: Scenario, config,
         "invariants": _inv_summary(inv),
         "baseline_invariants": _inv_summary(base_inv),
     }
+    if ctl_report is not None:
+        # present only when the controller pass ran, so default-path
+        # cell payloads stay byte-identical to pre-control outputs
+        out["slo_minutes_violated_controller"] = (
+            ctl_slo["slo_minutes_violated"]
+        )
+        out["controller_actions"] = sum(
+            (ctl_report.control or {}).get("action_counts", {}).values()
+        )
+        out["controller_action_counts"] = (
+            (ctl_report.control or {}).get("action_counts", {})
+        )
+        out["controller_shed"] = ctl_report.shed
+    return out
 
 
 def resilience_report(
@@ -316,18 +347,29 @@ def resilience_report(
     requests: int = 64,
     qps: float = 2000.0,
     workers: int = 1,
+    controller=None,
 ) -> dict:
     """Run the ``systems × scenarios`` matrix; one JSON-safe report.
 
     Each cell is an independent :class:`~repro.parallel.RunSpec`
     (kind ``chaos_scenario``), so ``workers > 1`` fans the matrix out
-    across processes with bit-identical results.
+    across processes with bit-identical results.  ``controller`` adds
+    the with-controller pass to serve-mode cells (see
+    :func:`run_scenario`).
     """
     from repro.parallel import RunSpec, run_tasks
 
     scenarios = list(scenarios)
     for name in scenarios:
         _get(name)  # fail fast on typos, before any simulation runs
+    options = {
+        "chaos_config": chaos_config,
+        "max_batches": max_batches,
+        "requests": requests,
+        "qps": qps,
+    }
+    if controller is not None:
+        options["controller"] = controller
     specs = [
         RunSpec(
             kind="chaos_scenario",
@@ -337,12 +379,7 @@ def resilience_report(
                 "system": system,
                 "scenario": scenario,
                 "config": config,
-                "options": {
-                    "chaos_config": chaos_config,
-                    "max_batches": max_batches,
-                    "requests": requests,
-                    "qps": qps,
-                },
+                "options": options,
             },
         )
         for system in systems
@@ -394,6 +431,11 @@ def format_report(payload: dict) -> str:
                 detail = "dead: " + ", ".join(r["dead_workers"])
             elif r["mode"] == "serve" and r.get("shed") is not None:
                 detail = f"shed {r['shed']}"
+            if "slo_minutes_violated_controller" in r:
+                detail = (detail + " " if detail else "") + (
+                    f"ctl SLO {r['slo_minutes_violated_controller']:.4f} "
+                    f"({r.get('controller_actions', 0)} actions)"
+                )
             lines.append(
                 f"{system:<10} {scenario:<16} {r['outcome']:<20} "
                 f"{slow_s:>9} "

@@ -10,6 +10,7 @@ Commands
 ``trace``    run one traced epoch; write a Chrome trace, print stalls
 ``perf``     wall-clock microbenchmarks -> BENCH_perf.json
 ``chaos``    deterministic fault-injection scenarios -> resilience report
+``control``  controller-on vs static SLO-minutes matrix -> verdict
 ``report``   merge saved serve/chaos/trace artifacts into one HTML report
 """
 
@@ -30,6 +31,27 @@ def _fail(message: str) -> int:
     """One-line operator-facing error on stderr; exit status 1."""
     print(f"error: {message}", file=sys.stderr)
     return 1
+
+
+def _control_figures(control: dict | None) -> tuple[int, int]:
+    """(total controller actions, final replica count) from any of the
+    three ``report.control`` shapes: single-server tuner summary,
+    router ``{"replicas": [...]}``, autoscaler ``{"autoscale": ...}``."""
+    if not control:
+        return 0, 1
+    actions = 0
+    replicas = 1
+    tuners = control.get("replicas", [control] if "action_counts" in control
+                         else [])
+    for t in tuners:
+        if t:
+            actions += sum(t.get("action_counts", {}).values())
+    replicas = max(replicas, len(tuners))
+    auto = control.get("autoscale")
+    if auto:
+        actions += len(auto.get("actions", ()))
+        replicas = auto.get("final_replicas", replicas)
+    return actions, replicas
 
 
 def _add_workload_args(p: argparse.ArgumentParser) -> None:
@@ -201,6 +223,20 @@ def cmd_serve(args) -> int:
 
     cfg = _config(args)
     qps_values = [float(q) for q in args.qps.split(",")]
+    tenancy = None
+    if args.tenants > 0:
+        from repro.control import TenancyConfig
+
+        tenancy = TenancyConfig.uniform(args.tenants, seed=args.seed)
+    controller = None
+    if args.controller:
+        from repro.control import ControllerConfig
+
+        controller = ControllerConfig(
+            interval_s=(args.control_interval_ms * 1e-3
+                        if args.control_interval_ms is not None else None),
+            max_pressure=tenancy.max_priority() if tenancy else 0,
+        )
     serve_cfg = ServeConfig(
         batch_max=args.batch_max,
         batch_timeout_s=args.batch_timeout_ms * 1e-3,
@@ -208,6 +244,8 @@ def cmd_serve(args) -> int:
         slo_s=args.slo_ms * 1e-3,
         functional=args.functional,
         check_invariants=args.invariants,
+        controller=controller,
+        tenancy=tenancy,
     )
     wl_cfg = WorkloadConfig(
         num_requests=args.requests,
@@ -220,6 +258,12 @@ def cmd_serve(args) -> int:
     if args.num_replicas > 1 and args.trace_base:
         return _fail("--trace-base is ambiguous with --num-replicas > 1; "
                      "trace a single replica instead")
+    if args.scale_max > 1 and args.num_replicas > 1:
+        return _fail("--scale-max replaces the fixed --num-replicas router; "
+                     "use one or the other")
+    if args.scale_max > 1 and args.trace_base:
+        return _fail("--trace-base is ambiguous under autoscaling; "
+                     "trace a single replica instead")
     workload = None
     payload: dict = {
         "slo_ms": args.slo_ms,
@@ -229,8 +273,10 @@ def cmd_serve(args) -> int:
         "systems": {},
     }
     slo_col = f" {'SLO min':>8}" if args.metrics else ""
+    act_col = (f" {'actions':>7} {'repl':>4}"
+               if args.controller or args.scale_max > 1 else "")
     print(f"{'system':<10} {'offered':>10} {'p50':>10} {'p99':>10} "
-          f"{'goodput':>10} {'shed':>6} {'batch':>6}{slo_col}")
+          f"{'goodput':>10} {'shed':>6} {'batch':>6}{slo_col}{act_col}")
     knees = {}
     for name in systems:
         system = build_system(name, cfg)
@@ -260,7 +306,20 @@ def cmd_serve(args) -> int:
             args.metrics_window_ms * 1e-3
             if args.metrics_window_ms is not None else None
         )
-        if args.num_replicas > 1:
+        if args.scale_max > 1:
+            from repro.control import AutoscaleConfig, autoscaled_qps_sweep
+
+            points = autoscaled_qps_sweep(
+                system, workload, qps_values,
+                scale=AutoscaleConfig(
+                    min_replicas=args.scale_min,
+                    max_replicas=args.scale_max,
+                    target_qps_per_replica=args.target_qps_per_replica,
+                ),
+                config=serve_cfg, workers=args.workers,
+                metrics=args.metrics, metrics_window_s=metrics_window_s,
+            )
+        elif args.num_replicas > 1:
             from repro.cluster import RouterConfig, replicated_qps_sweep
 
             points = replicated_qps_sweep(
@@ -284,6 +343,9 @@ def cmd_serve(args) -> int:
                     f"{r.shed_rate:>6.1%} {r.mean_batch_size:>6.1f}")
             if args.metrics and r.metrics is not None:
                 line += f" {r.metrics['slo']['slo_minutes_violated']:>8.4f}"
+            if act_col:
+                actions, replicas = _control_figures(r.control)
+                line += f" {actions:>7} {replicas:>4}"
             print(line)
         knees[name] = max_sustainable_qps(points)
         payload["systems"][name] = {
@@ -433,6 +495,14 @@ def cmd_chaos(args) -> int:
         [s for s in args.scenarios.split(",") if s]
         if args.scenarios else sorted(SCENARIOS)
     )
+    controller = None
+    if args.controller:
+        from repro.control import ControllerConfig
+
+        controller = ControllerConfig(
+            interval_s=(args.control_interval_ms * 1e-3
+                        if args.control_interval_ms is not None else None),
+        )
     payload = resilience_report(
         systems,
         scenarios,
@@ -441,11 +511,69 @@ def cmd_chaos(args) -> int:
         requests=args.requests,
         qps=args.qps,
         workers=args.workers,
+        controller=controller,
     )
     print(format_report(payload))
     if args.json or args.out:
         _emit_json(payload, args)
     return 0 if payload["summary"]["invariant_violations"] == 0 else 1
+
+
+def cmd_control(args) -> int:
+    """``repro control``: controller-on vs static SLO-minutes matrix.
+
+    Every cell serves the same workload under the same
+    :class:`~repro.chaos.FaultPlan` twice — static knobs, then with
+    the :class:`~repro.control.ServeController` closing the loop — and
+    compares "SLO minutes violated".  The matrix is byte-identical
+    across ``--workers`` (see ``docs/control.md``).
+
+    Exit code 1 iff any cell regressed (controller strictly worse than
+    its static configuration).
+    """
+    from repro.control import (
+        CORE_SCENARIOS,
+        ControllerConfig,
+        control_matrix,
+        format_control_matrix,
+    )
+    from repro.serve import ServeConfig, WorkloadConfig
+
+    cfg = _config(args)
+    scenarios = ([s for s in args.scenarios.split(",") if s]
+                 if args.scenarios else list(CORE_SCENARIOS))
+    controller = ControllerConfig(
+        interval_s=(args.control_interval_ms * 1e-3
+                    if args.control_interval_ms is not None else None),
+    )
+    serve_cfg = ServeConfig(
+        batch_max=args.batch_max,
+        batch_timeout_s=args.batch_timeout_ms * 1e-3,
+        queue_capacity=args.queue_capacity,
+        slo_s=args.slo_ms * 1e-3,
+    )
+    label = args.arrival if args.drift_phases <= 1 else (
+        f"{args.arrival}+drift{args.drift_phases}"
+    )
+    wl_cfg = WorkloadConfig(
+        num_requests=args.requests,
+        arrival=args.arrival,
+        skew=args.skew,
+        drift_phases=args.drift_phases,
+        seed=args.seed,
+    )
+    payload = control_matrix(
+        args.system, cfg, controller,
+        scenarios=scenarios,
+        workload_configs={label: wl_cfg},
+        qps=args.qps,
+        serve_config=serve_cfg,
+        workers=args.workers,
+    )
+    print(format_control_matrix(payload))
+    if args.json or args.out:
+        _emit_json(payload, args)
+    return 0 if payload["summary"]["regressed"] == 0 else 1
 
 
 def cmd_report(args) -> int:
@@ -645,6 +773,24 @@ def build_parser() -> argparse.ArgumentParser:
                    help="audit every point with the simulation "
                         "invariant checker (report is unchanged; a "
                         "broken simulation raises instead)")
+    p.add_argument("--controller", action="store_true",
+                   help="close the loop: the SLO-burn AIMD tuner retunes "
+                        "batch-max / max-wait online (see docs/control.md)")
+    p.add_argument("--control-interval-ms", type=float, default=None,
+                   help="controller decision interval in ms "
+                        "(default: 4 SLO windows)")
+    p.add_argument("--tenants", type=int, default=0,
+                   help="split the workload across N synthetic tenants "
+                        "with priority classes and admission quotas "
+                        "(default 0 = off)")
+    p.add_argument("--scale-min", type=int, default=1,
+                   help="autoscaler floor replicas (with --scale-max > 1)")
+    p.add_argument("--scale-max", type=int, default=1,
+                   help="autoscale serving replicas up to this many "
+                        "(default 1 = no autoscaler)")
+    p.add_argument("--target-qps-per-replica", type=float, default=None,
+                   help="per-replica capacity the autoscaler sizes "
+                        "against (default: offered QPS / scale-max)")
     p.add_argument("--num-replicas", type=int, default=1,
                    help="serving replicas behind the cluster router "
                         "(default 1 = plain serve_once path)")
@@ -679,7 +825,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="comma-separated subset of: csp_layer, "
                         "feature_load, epoch, serve_batch, sweep, "
                         "chaos_scenario, multinode_epoch, engine_core, "
-                        "cache_dynamic (default all)")
+                        "cache_dynamic, control_loop (default all)")
     p.add_argument("--workers", type=int, default=1,
                    help="worker processes, one task per benchmark "
                         "(default 1 = serial)")
@@ -713,10 +859,57 @@ def build_parser() -> argparse.ArgumentParser:
                    help="worker processes, one task per (system, "
                         "scenario) cell (default 1 = serial; the report "
                         "is bit-identical)")
+    p.add_argument("--controller", action="store_true",
+                   help="run each serving scenario a third time with the "
+                        "SLO-burn controller closing the loop and report "
+                        "its SLO minutes next to the static pass")
+    p.add_argument("--control-interval-ms", type=float, default=None,
+                   help="controller decision interval in ms "
+                        "(default: 4 SLO windows)")
     p.add_argument("--json", action="store_true")
     p.add_argument("--out", metavar="PATH",
                    help="write the JSON report to PATH instead of stdout")
     p.set_defaults(func=cmd_chaos)
+
+    p = sub.add_parser(
+        "control", help="controller-on vs static SLO-minutes matrix"
+    )
+    _add_workload_args(p)
+    p.add_argument("--system", default="DSP", choices=sorted(SYSTEMS))
+    p.add_argument("--scenarios", default="",
+                   help="comma-separated chaos scenarios (default: the "
+                        "seven core recipes; 'none' = fault-free)")
+    p.add_argument("--requests", type=int, default=256,
+                   help="requests per cell (default 256)")
+    p.add_argument("--qps", type=float, default=3000.0,
+                   help="offered load per cell (default 3000)")
+    p.add_argument("--slo-ms", type=float, default=5.0,
+                   help="p99 latency SLO in milliseconds (default 5; "
+                        "pick one tight enough that the static config "
+                        "burns error budget, or every cell is 0 vs 0)")
+    p.add_argument("--batch-max", type=int, default=16,
+                   help="static batch size cap the controller starts "
+                        "from (default 16)")
+    p.add_argument("--batch-timeout-ms", type=float, default=1.0,
+                   help="static batch max-wait in ms (default 1)")
+    p.add_argument("--queue-capacity", type=int, default=64,
+                   help="per-GPU admission queue bound (default 64)")
+    p.add_argument("--arrival", default="diurnal",
+                   choices=["poisson", "bursty", "diurnal"])
+    p.add_argument("--skew", type=float, default=0.8,
+                   help="Zipf popularity exponent for seed nodes")
+    p.add_argument("--drift-phases", type=int, default=1,
+                   help="popularity-drift phases (default 1 = stationary)")
+    p.add_argument("--control-interval-ms", type=float, default=None,
+                   help="controller decision interval in ms "
+                        "(default: 4 SLO windows)")
+    p.add_argument("--workers", type=int, default=1,
+                   help="worker processes, one task per cell "
+                        "(default 1 = serial; the matrix is bit-identical)")
+    p.add_argument("--json", action="store_true")
+    p.add_argument("--out", metavar="PATH",
+                   help="write the JSON matrix to PATH instead of stdout")
+    p.set_defaults(func=cmd_control)
 
     p = sub.add_parser(
         "report", help="merge saved serve/chaos/trace artifacts into one "

@@ -30,6 +30,7 @@ from repro.serve.stats import ServeReport, build_report
 from repro.serve.sweep import (
     SweepPoint,
     _reseed_sampler,
+    _reset_dynamic,
     _reset_plan_cache,
     max_sustainable_qps,
     serve_once,
@@ -109,12 +110,19 @@ def serve_replicated(
     num_batches = 0
     hits = done = 0
     summaries = []
+    controls = []
     for rep in range(router.num_replicas):
         sub = [r for r, a in zip(requests, assign) if a == rep]
         if not sub:
             summaries.append(None)
+            controls.append(None)
             continue
         _reseed_sampler(system)
+        # the dynamic cache policy mutates the shared feature store as
+        # it follows drift — reset it like the plan cache, so every
+        # replica (and every sweep point ordering) starts from the same
+        # warmed placement
+        _reset_dynamic(system)
         _reset_plan_cache(system)
         invariants = None
         if cfg.check_invariants:
@@ -131,7 +139,8 @@ def serve_replicated(
             )
         server = GNNServer(system, cfg, metrics=registry,
                            invariants=invariants)
-        server.run(sub, offered_qps=qps)
+        rep_report = server.run(sub, offered_qps=qps)
+        controls.append(rep_report.control)
         if invariants is not None:
             invariants.finalize()
         for rec in server.last_records:
@@ -166,6 +175,14 @@ def serve_replicated(
             },
             "replicas": summaries,
         }
+    if cfg.controller is not None:
+        # each replica ran its own tuner instance over its sub-stream;
+        # the merged report carries all of their action logs
+        report.control = {"replicas": controls}
+    if cfg.tenancy is not None:
+        from repro.control.tenancy import tenant_summary
+
+        report.tenants = tenant_summary(ordered, cfg.slo_s)
     return report
 
 

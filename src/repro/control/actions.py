@@ -1,0 +1,89 @@
+"""Typed controller actions and the deterministic action log.
+
+Every decision the serving control plane takes — a batcher knob move,
+a pressure (shedding) level change, a replica scale event — is recorded
+as a :class:`ControlAction`: *when* (simulated seconds), *what* (the
+action kind), *which knob moved from what to what*, and *why* (the
+observed signal that triggered it).  The log is the controller's
+audit trail and its determinism contract in one object: a controlled
+run's action log is a pure function of ``(seed, workload, config)``,
+so replaying the run — on any worker process — must reproduce it
+byte for byte (``tests/control/test_conformance.py`` pins this).
+
+Actions are JSON-safe and round-trip losslessly through
+:meth:`ControlAction.to_dict` / :func:`action_from_dict`, which is what
+lets the chaos matrix and the HTML report carry action timelines
+without referencing controller objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.errors import ConfigError
+
+#: every action kind the control plane can emit, in display order
+ACTION_KINDS = (
+    "batch-max-up",
+    "batch-max-recover",
+    "max-wait-down",
+    "max-wait-recover",
+    "pressure-up",
+    "pressure-down",
+    "scale-up",
+    "scale-down",
+)
+
+
+@dataclass(frozen=True)
+class ControlAction:
+    """One control decision at one simulated instant."""
+
+    t: float
+    kind: str
+    #: the knob that moved ("batch_max", "timeout_s", "pressure",
+    #: "replicas")
+    knob: str
+    before: float
+    after: float
+    #: the signal that triggered the move (burn rate for the tuner,
+    #: EWMA arrival rate for the autoscaler)
+    signal: float
+
+    def __post_init__(self) -> None:
+        if self.kind not in ACTION_KINDS:
+            raise ConfigError(
+                f"unknown control action kind {self.kind!r}; "
+                f"known: {list(ACTION_KINDS)}"
+            )
+
+    def to_dict(self) -> dict:
+        return {
+            "t_ms": self.t * 1e3,
+            "kind": self.kind,
+            "knob": self.knob,
+            "before": self.before,
+            "after": self.after,
+            "signal": self.signal,
+        }
+
+
+def action_from_dict(row: dict) -> ControlAction:
+    """Rebuild a :class:`ControlAction` from its ``to_dict`` payload."""
+    return ControlAction(
+        t=row["t_ms"] * 1e-3,
+        kind=row["kind"],
+        knob=row["knob"],
+        before=row["before"],
+        after=row["after"],
+        signal=row["signal"],
+    )
+
+
+def actions_to_dicts(actions) -> list[dict]:
+    """JSON-safe action list, preserving emission order."""
+    return [a.to_dict() for a in actions]
+
+
+__all__ = ["ACTION_KINDS", "ControlAction", "action_from_dict",
+           "actions_to_dicts"]

@@ -1,0 +1,396 @@
+"""Replica autoscaling: serving capacity as a live control variable.
+
+:func:`autoscaled_serve` serves one open-loop request stream while
+scaling the replica count between ``min_replicas`` and ``max_replicas``
+— GSplit's framing of parallelism as something the system *chooses*
+per load, rather than a sweep axis fixed up front.
+
+The control loop runs on arrival time, before any replica simulates:
+the stream is cut into fixed intervals, each boundary folds the
+interval's arrival count into an EWMA rate estimate, and the desired
+replica count is ``ceil(rate / target_qps_per_replica)`` clamped to the
+configured range, with threshold hysteresis and a cooldown so the
+scaler doesn't chatter.
+
+- **Scale-up is not free**: a new replica *warms* for ``warmup_s``
+  before it joins the routable set — requests landing during warm-up
+  still crowd onto the old replicas, which is exactly the cost a real
+  autoscaler pays for reacting late.
+- **Scale-down never drops work**: a retired replica leaves the
+  routable set but keeps (and fully serves) every request already
+  assigned to it — it drains.  The
+  :class:`~repro.chaos.InvariantChecker` audits this as the
+  ``scale-safety`` invariant: no request is ever routed to a replica
+  after its retirement instant.
+
+Routing over the live replica set is ``node % len(active)`` — a pure
+function of the request and the scaler state, so the whole run
+(assignment, per-replica simulations, merged report, action log) is a
+pure function of ``(workload, qps, configs)`` and byte-identical
+across ``--workers``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.control.actions import ControlAction, actions_to_dicts
+from repro.serve.service import GNNServer, ServeConfig
+from repro.serve.stats import ServeReport, build_report
+from repro.serve.sweep import (
+    _reseed_sampler,
+    _reset_dynamic,
+    _reset_plan_cache,
+)
+from repro.serve.workload import Workload
+from repro.utils.errors import ConfigError
+
+#: default control interval: the stream span cut into this many slices
+DEFAULT_INTERVALS = 24
+
+
+@dataclass(frozen=True)
+class AutoscaleConfig:
+    """Replica-scaling policy knobs."""
+
+    min_replicas: int = 1
+    max_replicas: int = 4
+    #: per-replica capacity the scaler sizes against (None = offered
+    #: QPS / max_replicas, so the stream's peak engages the full range)
+    target_qps_per_replica: float | None = None
+    #: control interval in seconds (None = stream span / 24)
+    interval_s: float | None = None
+    #: scale up only when the rate exceeds this fraction of current
+    #: capacity; scale down only below this fraction of the shrunken
+    #: capacity — the hysteresis gap between them prevents chatter
+    up_threshold: float = 0.9
+    down_threshold: float = 0.6
+    #: EWMA weight of the newest interval's rate
+    ewma: float = 0.5
+    #: warm-up delay before a started replica becomes routable
+    #: (None = one control interval)
+    warmup_s: float | None = None
+    #: intervals to hold after any scale action
+    cooldown_intervals: int = 1
+
+    def __post_init__(self) -> None:
+        if self.min_replicas < 1:
+            raise ConfigError("min_replicas must be >= 1")
+        if self.max_replicas < self.min_replicas:
+            raise ConfigError("max_replicas must be >= min_replicas")
+        if (self.target_qps_per_replica is not None
+                and self.target_qps_per_replica <= 0):
+            raise ConfigError("target_qps_per_replica must be positive")
+        if self.interval_s is not None and self.interval_s <= 0:
+            raise ConfigError("interval_s must be positive")
+        if not 0.0 < self.down_threshold < self.up_threshold <= 1.0:
+            raise ConfigError("need 0 < down_threshold < up_threshold <= 1")
+        if not 0.0 < self.ewma <= 1.0:
+            raise ConfigError("ewma must be in (0, 1]")
+        if self.warmup_s is not None and self.warmup_s < 0:
+            raise ConfigError("warmup_s must be non-negative")
+        if self.cooldown_intervals < 0:
+            raise ConfigError("cooldown_intervals must be non-negative")
+
+
+class _ScalerState:
+    """The arrival-time control loop (pure, no simulator involved)."""
+
+    def __init__(self, scale: AutoscaleConfig, interval_s: float,
+                 warmup_s: float, target: float, invariants=None):
+        self.scale = scale
+        self.interval_s = interval_s
+        self.warmup_s = warmup_s
+        self.target = target
+        self.invariants = invariants
+        self.active = list(range(scale.min_replicas))
+        self.warming: dict[int, float] = {}  # replica -> routable at
+        self.retired: dict[int, float] = {}  # replica -> retired at
+        self.next_id = scale.min_replicas
+        self.rate = None  # EWMA arrival rate
+        self.cooldown_until = 0  # interval index
+        self.count = 0  # arrivals in the open interval
+        self.interval = 0
+        self.actions: list[ControlAction] = []
+        self.timeline: list[dict] = [
+            {"t_ms": 0.0, "active": len(self.active), "warming": 0}
+        ]
+
+    def _capacity(self, n: int) -> float:
+        return n * self.target
+
+    def close_interval(self) -> None:
+        """One boundary: fold the rate, promote warm replicas, decide."""
+        sc = self.scale
+        boundary = (self.interval + 1) * self.interval_s
+        for r in sorted(self.warming):
+            if self.warming[r] <= boundary:
+                self.active.append(r)
+                del self.warming[r]
+        self.active.sort()
+        rate = self.count / self.interval_s
+        self.count = 0
+        self.rate = (rate if self.rate is None
+                     else sc.ewma * rate + (1.0 - sc.ewma) * self.rate)
+        total = len(self.active) + len(self.warming)
+        if self.interval >= self.cooldown_until:
+            if (total < sc.max_replicas
+                    and self.rate > sc.up_threshold * self._capacity(total)):
+                want = min(
+                    sc.max_replicas,
+                    max(total + 1,
+                        int(math.ceil(self.rate / self.target))),
+                )
+                for _ in range(want - total):
+                    rid = self.next_id
+                    self.next_id += 1
+                    self.warming[rid] = boundary + self.warmup_s
+                self.actions.append(ControlAction(
+                    t=boundary, kind="scale-up", knob="replicas",
+                    before=total, after=want, signal=self.rate,
+                ))
+                self.cooldown_until = (
+                    self.interval + 1 + sc.cooldown_intervals
+                )
+            elif (total > sc.min_replicas
+                  and self.rate < sc.down_threshold
+                  * self._capacity(total - 1)):
+                want = max(
+                    sc.min_replicas,
+                    int(math.ceil(self.rate / self.target)),
+                )
+                # cancel warming replicas first (they never served a
+                # request), then retire the newest active ones — those
+                # drain: work already assigned to them still completes
+                for r in sorted(self.warming, reverse=True):
+                    if len(self.active) + len(self.warming) <= want:
+                        break
+                    del self.warming[r]
+                for r in sorted(self.active, reverse=True):
+                    if (len(self.active) + len(self.warming) <= want
+                            or len(self.active) <= sc.min_replicas):
+                        break
+                    self.active.remove(r)
+                    self.retired[r] = boundary
+                    if self.invariants is not None:
+                        self.invariants.on_retire(r, boundary)
+                self.actions.append(ControlAction(
+                    t=boundary, kind="scale-down", knob="replicas",
+                    before=total,
+                    after=len(self.active) + len(self.warming),
+                    signal=self.rate,
+                ))
+                self.cooldown_until = (
+                    self.interval + 1 + sc.cooldown_intervals
+                )
+        self.interval += 1
+        self.timeline.append({
+            "t_ms": boundary * 1e3,
+            "active": len(self.active),
+            "warming": len(self.warming),
+        })
+
+    def route(self, req) -> int:
+        """Replica for ``req`` — hash over the live active set."""
+        rep = self.active[req.node % len(self.active)]
+        if self.invariants is not None:
+            self.invariants.on_assign(rep, req.arrival)
+        return rep
+
+    def summary(self) -> dict:
+        return {
+            "interval_ms": self.interval_s * 1e3,
+            "warmup_ms": self.warmup_s * 1e3,
+            "target_qps_per_replica": self.target,
+            "actions": actions_to_dicts(self.actions),
+            "timeline": self.timeline,
+            "final_replicas": len(self.active) + len(self.warming),
+            "max_replicas_used": self.next_id,
+        }
+
+
+def assign_replicas(requests, scale: AutoscaleConfig, qps: float,
+                    invariants=None):
+    """Run the arrival-time scaling loop over a request stream.
+
+    Returns ``(assignment list, scaler state)``; the assignment maps
+    each request (by position) to the replica that serves it.
+    """
+    if not requests:
+        raise ConfigError("need at least one request")
+    span = max(r.arrival for r in requests)
+    interval_s = (scale.interval_s if scale.interval_s is not None
+                  else max(span / DEFAULT_INTERVALS, 1e-9))
+    warmup_s = (scale.warmup_s if scale.warmup_s is not None
+                else interval_s)
+    target = (scale.target_qps_per_replica
+              if scale.target_qps_per_replica is not None
+              else qps / scale.max_replicas)
+    state = _ScalerState(scale, interval_s, warmup_s, target,
+                         invariants=invariants)
+    assign = []
+    for req in requests:
+        idx = int(req.arrival // interval_s)
+        while state.interval < idx:
+            state.close_interval()
+        state.count += 1
+        assign.append(state.route(req))
+    return assign, state
+
+
+def autoscaled_serve(
+    system,
+    workload: Workload,
+    qps: float,
+    scale: AutoscaleConfig | None = None,
+    config: ServeConfig | None = None,
+    metrics: bool = False,
+    metrics_window_s: float | None = None,
+) -> ServeReport:
+    """Serve one offered load with the replica count under control.
+
+    Structured like :func:`repro.cluster.serve.serve_replicated`: the
+    scaler splits the stream, each replica's sub-stream runs through a
+    fresh :class:`GNNServer` (sampler RNGs, dynamic cache and plan
+    cache reset per replica), and records merge back in arrival order.
+    ``report.control["autoscale"]`` carries the action log, replica
+    timeline and warm-up accounting.
+    """
+    scale = scale if scale is not None else AutoscaleConfig()
+    cfg = config if config is not None else ServeConfig()
+    requests = workload.requests(qps)
+
+    invariants = None
+    if cfg.check_invariants:
+        from repro.chaos.invariants import InvariantChecker
+
+        invariants = InvariantChecker()
+    assign, state = assign_replicas(requests, scale, qps,
+                                    invariants=invariants)
+
+    replica_ids = sorted(set(assign))
+    merged = {}
+    num_batches = 0
+    hits = done = 0
+    summaries = []
+    controls = []
+    for rep in replica_ids:
+        sub = [r for r, a in zip(requests, assign) if a == rep]
+        _reseed_sampler(system)
+        _reset_dynamic(system)
+        _reset_plan_cache(system)
+        rep_invariants = None
+        if cfg.check_invariants:
+            from repro.chaos.invariants import InvariantChecker
+
+            rep_invariants = InvariantChecker()
+        registry = None
+        if metrics:
+            from repro.metrics import MetricsRegistry
+
+            registry = MetricsRegistry(
+                window_s=(metrics_window_s if metrics_window_s is not None
+                          else cfg.slo_s)
+            )
+        server = GNNServer(system, cfg, metrics=registry,
+                           invariants=rep_invariants)
+        rep_report = server.run(sub, offered_qps=qps)
+        controls.append(rep_report.control)
+        if rep_invariants is not None:
+            rep_invariants.finalize()
+        for rec in server.last_records:
+            merged[rec.rid] = rec
+        num_batches += server.last_num_batches
+        acc = server.last_accuracy
+        n_done = sum(1 for r in server.last_records
+                     if not r.shed and r.prediction is not None)
+        if n_done and not np.isnan(acc):
+            hits += acc * n_done
+            done += n_done
+        if registry is not None:
+            from repro.metrics import serve_summary
+
+            summaries.append(serve_summary(registry, cfg.slo_s))
+        else:
+            summaries.append(None)
+
+    ordered = [merged[r.rid] for r in requests]
+    accuracy = hits / done if done else float("nan")
+    report = build_report(system.name, qps, cfg.slo_s, ordered, num_batches,
+                          accuracy=accuracy)
+    if metrics:
+        present = [s for s in summaries if s is not None]
+        report.metrics = {
+            "window_ms": present[0]["window_ms"] if present else None,
+            "slo": {
+                "slo_minutes_violated": sum(
+                    s["slo"]["slo_minutes_violated"] for s in present
+                ),
+                "windows": [],
+            },
+            "replicas": summaries,
+        }
+    control: dict = {"autoscale": state.summary()}
+    if cfg.controller is not None:
+        control["replicas"] = controls
+    report.control = control
+    if cfg.tenancy is not None:
+        from repro.control.tenancy import tenant_summary
+
+        report.tenants = tenant_summary(ordered, cfg.slo_s)
+    return report
+
+
+def autoscaled_qps_sweep(
+    system,
+    workload: Workload,
+    qps_values,
+    scale: AutoscaleConfig | None = None,
+    config: ServeConfig | None = None,
+    workers: int = 1,
+    metrics: bool = False,
+    metrics_window_s: float | None = None,
+):
+    """A QPS sweep where every point serves under the autoscaler.
+
+    Mirrors :func:`repro.cluster.serve.replicated_qps_sweep`: points
+    fan out as ``cluster_point`` runs (the handler dispatches on the
+    ``autoscale`` payload key) and are byte-identical across
+    ``--workers``.
+    """
+    from repro.parallel import RunSpec, adopt_system, run_tasks
+    from repro.serve.sweep import SweepPoint
+
+    values = sorted(float(q) for q in qps_values)
+    if not values:
+        raise ConfigError("need at least one QPS value")
+    scale = scale if scale is not None else AutoscaleConfig()
+    specs = [
+        RunSpec(
+            kind="cluster_point",
+            label=f"qps{q:g}-auto{scale.max_replicas}",
+            seed=system.config.seed,
+            payload={
+                "system": system.name,
+                "config": system.config,
+                "workload": workload,
+                "qps": q,
+                "autoscale": scale,
+                "serve_config": config,
+                "metrics": metrics,
+                "metrics_window_s": metrics_window_s,
+            },
+        )
+        for q in values
+    ]
+    if workers <= 1:
+        adopt_system(system)
+    reports = run_tasks(specs, workers=workers)
+    return [SweepPoint(qps=q, report=r) for q, r in zip(values, reports)]
+
+
+__all__ = ["AutoscaleConfig", "DEFAULT_INTERVALS", "assign_replicas",
+           "autoscaled_serve", "autoscaled_qps_sweep"]

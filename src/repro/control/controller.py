@@ -1,0 +1,291 @@
+"""The online batcher tuner: hysteresis-banded AIMD against the SLO.
+
+:class:`ServeController` runs *inside* the simulated serving run as a
+periodic simulator callback.  Every ``interval_s`` of simulated time it
+reads the windows the streaming :class:`~repro.metrics.MetricsRegistry`
+closed since its last tick, computes the interval's SLO **burn rate**
+(violation fraction over the error budget, the
+:class:`~repro.metrics.SLOMonitor` definition) and steps the per-GPU
+batcher knobs:
+
+- **burn above the band** (out of SLO): if batches are closing near
+  full, admission is throughput-bound — double ``batch_max`` (more
+  amortisation per batch) up to ``max_batch_factor`` times the
+  baseline; otherwise the tail is batching delay — halve the max-wait
+  ``timeout_s`` down to ``min_timeout_frac`` of baseline.  Sustained
+  burn additionally raises the **pressure** level, shedding
+  low-priority work at admission (multi-tenant runs only).
+- **burn below the band** for ``recover_after`` consecutive intervals:
+  step knobs back *toward the baseline* — pressure first, then
+  max-wait, then batch size — reaching it exactly in finitely many
+  steps.
+- **inside the band**: do nothing (the hysteresis gap is what prevents
+  limit-cycle oscillation around the threshold).
+
+Determinism: the controller reads only window-bucketed metric state at
+tick instants that are pure functions of simulated time, and its knob
+steps are pure functions of that state — the action log is a pure
+function of ``(workload, qps, config)`` and is byte-identical across
+``--workers`` (pinned by ``tests/control/``).
+
+Stability: under stationary load the burn rate settles on one side of
+the band, so the knobs converge (to the baseline from below, to the
+caps/floors from above) and the action log **quiesces** — a property
+test fuzzes this.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.control.actions import ACTION_KINDS, ControlAction, actions_to_dicts
+from repro.utils.errors import ConfigError
+
+#: default tick interval, in registry windows
+DEFAULT_INTERVAL_WINDOWS = 4
+
+
+@dataclass(frozen=True)
+class ControllerConfig:
+    """Tuner policy knobs.  All defaults are deliberately gentle: a
+    controller that thrashes is worse than none."""
+
+    #: tick period in simulated seconds (None = 4 registry windows)
+    interval_s: float | None = None
+    #: SLO attainment target defining the error budget (matches
+    #: :class:`~repro.metrics.SLOMonitor`)
+    target: float = 0.99
+    #: hysteresis band on the burn rate: act only outside [low, high]
+    low_burn: float = 0.5
+    high_burn: float = 1.0
+    #: knob bounds, as multiples of the baseline ServeConfig values
+    min_timeout_frac: float = 0.125
+    max_batch_factor: int = 8
+    #: multiplicative steps (the "MD"/"MI" halves of AIMD)
+    timeout_decrease: float = 0.5
+    batch_increase: float = 2.0
+    #: additive recovery steps toward baseline, as a fraction of it
+    recover_frac: float = 0.25
+    #: healthy intervals required before a recovery step
+    recover_after: int = 2
+    #: batches closing at >= this fraction of batch_max mark the
+    #: interval throughput-bound (grow batches, don't cut the wait)
+    full_batch_frac: float = 0.8
+    #: ceiling on the priority-shedding pressure level (0 = never shed
+    #: by priority; raised by the CLI when tenancy is on)
+    max_pressure: int = 0
+    #: violated intervals required before raising pressure
+    pressure_after: int = 2
+
+    def __post_init__(self) -> None:
+        if self.interval_s is not None and self.interval_s <= 0:
+            raise ConfigError("interval_s must be positive")
+        if not 0.0 < self.target < 1.0:
+            raise ConfigError("target must be in (0, 1)")
+        if not 0.0 <= self.low_burn < self.high_burn:
+            raise ConfigError("need 0 <= low_burn < high_burn")
+        if not 0.0 < self.min_timeout_frac <= 1.0:
+            raise ConfigError("min_timeout_frac must be in (0, 1]")
+        if self.max_batch_factor < 1:
+            raise ConfigError("max_batch_factor must be >= 1")
+        if not 0.0 < self.timeout_decrease < 1.0:
+            raise ConfigError("timeout_decrease must be in (0, 1)")
+        if self.batch_increase <= 1.0:
+            raise ConfigError("batch_increase must be > 1")
+        if not 0.0 < self.recover_frac <= 1.0:
+            raise ConfigError("recover_frac must be in (0, 1]")
+        if self.recover_after < 1:
+            raise ConfigError("recover_after must be >= 1")
+        if not 0.0 < self.full_batch_frac <= 1.0:
+            raise ConfigError("full_batch_frac must be in (0, 1]")
+        if self.max_pressure < 0:
+            raise ConfigError("max_pressure must be non-negative")
+        if self.pressure_after < 1:
+            raise ConfigError("pressure_after must be >= 1")
+
+
+class ServeController:
+    """Periodic in-simulation tuner over a serving run's batchers."""
+
+    def __init__(self, config: ControllerConfig, serve_config, registry,
+                 tracer=None):
+        self.config = config
+        self.registry = registry
+        self.tracer = tracer
+        # frozen baselines the controller recovers toward
+        self.base_batch_max = serve_config.batch_max
+        self.base_timeout_s = serve_config.batch_timeout_s
+        self.slo_s = serve_config.slo_s
+        self.interval_s = (
+            config.interval_s if config.interval_s is not None
+            else DEFAULT_INTERVAL_WINDOWS * registry.window_s
+        )
+        # live knob state (applied uniformly to every per-GPU batcher)
+        self.batch_max = serve_config.batch_max
+        self.timeout_s = serve_config.batch_timeout_s
+        self.pressure = 0
+        # streaks driving hysteresis + pressure escalation
+        self.healthy_streak = 0
+        self.violated_streak = 0
+        # consumed-window cursor: windows with index < this are read
+        self._cursor = 0
+        self.ticks = 0
+        self.actions: list[ControlAction] = []
+        self._sim = None
+        self._batchers = ()
+        self._remaining = None
+
+    # -- wiring ----------------------------------------------------------
+    def install(self, sim, batchers, remaining) -> None:
+        """Attach to a run: tick every ``interval_s`` until ``remaining``
+        (a one-element outstanding-request cell) hits zero."""
+        self._sim = sim
+        self._batchers = list(batchers)
+        self._remaining = remaining
+        sim.schedule(self.interval_s, self._tick)
+
+    def _tick(self) -> None:
+        self._step(self._sim.now)
+        if self._remaining[0] > 0:
+            self._sim.schedule(self.interval_s, self._tick)
+
+    # -- the policy -------------------------------------------------------
+    def _read_interval(self, t: float) -> tuple[int, int, float]:
+        """Fold the registry windows closed since the last tick into
+        ``(completed, violations, mean_batch_size)``."""
+        reg = self.registry
+        ws = reg.window_s
+        end = int(math.floor(t / ws + 1e-9))
+        done = reg.find("counter", "requests_completed")
+        viol = reg.find("counter", "slo_violations")
+        batch = reg.find("histogram", "batch_size")
+        completed = violations = 0
+        bsum = bcount = 0.0
+        for w in range(self._cursor, end):
+            if done is not None:
+                completed += int(done.windows.get(w, 0))
+            if viol is not None:
+                violations += int(viol.windows.get(w, 0))
+            if batch is not None:
+                h = batch.windows.get(w)
+                if h is not None and h.count:
+                    bsum += h.mean * h.count
+                    bcount += h.count
+        self._cursor = max(self._cursor, end)
+        mean_batch = bsum / bcount if bcount else 0.0
+        return completed, violations, mean_batch
+
+    def _step(self, t: float) -> None:
+        """One control decision at simulated instant ``t``."""
+        self.ticks += 1
+        cfg = self.config
+        completed, violations, mean_batch = self._read_interval(t)
+        if completed == 0:
+            return  # idle interval: burns nothing, proves nothing
+        burn = (violations / completed) / (1.0 - cfg.target)
+        if burn > cfg.high_burn:
+            self.violated_streak += 1
+            self.healthy_streak = 0
+            self._tighten(t, burn, mean_batch)
+        elif burn < cfg.low_burn:
+            self.healthy_streak += 1
+            self.violated_streak = 0
+            if self.healthy_streak >= cfg.recover_after:
+                self._recover(t, burn)
+        else:
+            # inside the hysteresis band: hold position
+            self.violated_streak = 0
+
+    def _tighten(self, t: float, burn: float, mean_batch: float) -> None:
+        cfg = self.config
+        batch_cap = self.base_batch_max * cfg.max_batch_factor
+        timeout_floor = self.base_timeout_s * cfg.min_timeout_frac
+        if (mean_batch >= cfg.full_batch_frac * self.batch_max
+                and self.batch_max < batch_cap):
+            # throughput-bound: batches close full — amortise more
+            new = min(batch_cap,
+                      int(math.ceil(self.batch_max * cfg.batch_increase)))
+            self._act(t, "batch-max-up", "batch_max",
+                      self.batch_max, new, burn)
+            self.batch_max = new
+        elif self.timeout_s > timeout_floor:
+            # latency-bound: the tail is batching delay — cut the wait
+            new = max(timeout_floor, self.timeout_s * cfg.timeout_decrease)
+            self._act(t, "max-wait-down", "timeout_s",
+                      self.timeout_s, new, burn)
+            self.timeout_s = new
+        if (cfg.max_pressure and self.violated_streak >= cfg.pressure_after
+                and self.pressure < cfg.max_pressure):
+            self._act(t, "pressure-up", "pressure",
+                      self.pressure, self.pressure + 1, burn)
+            self.pressure += 1
+        self._apply()
+
+    def _recover(self, t: float, burn: float) -> None:
+        """One step back toward the baseline: pressure, then max-wait,
+        then batch size.  At the baseline this is a no-op, so under
+        sustained healthy load the action log quiesces."""
+        cfg = self.config
+        if self.pressure > 0:
+            self._act(t, "pressure-down", "pressure",
+                      self.pressure, self.pressure - 1, burn)
+            self.pressure -= 1
+        elif self.timeout_s < self.base_timeout_s:
+            step = cfg.recover_frac * self.base_timeout_s
+            new = min(self.base_timeout_s, self.timeout_s + step)
+            self._act(t, "max-wait-recover", "timeout_s",
+                      self.timeout_s, new, burn)
+            self.timeout_s = new
+        elif self.batch_max > self.base_batch_max:
+            step = max(1, int(round(cfg.recover_frac * self.base_batch_max)))
+            new = max(self.base_batch_max, self.batch_max - step)
+            self._act(t, "batch-max-recover", "batch_max",
+                      self.batch_max, new, burn)
+            self.batch_max = new
+        else:
+            return  # quiesced: at baseline, nothing to recover
+        self._apply()
+
+    def _apply(self) -> None:
+        for b in self._batchers:
+            b.apply(batch_max=self.batch_max, timeout_s=self.timeout_s,
+                    pressure=self.pressure)
+
+    def _act(self, t: float, kind: str, knob: str, before, after,
+             signal: float) -> None:
+        self.actions.append(ControlAction(
+            t=t, kind=kind, knob=knob, before=float(before),
+            after=float(after), signal=float(signal),
+        ))
+        if self.tracer is not None:
+            self.tracer.instant("controller", kind, t, cat="control",
+                                knob=knob, before=before, after=after)
+        self.registry.event(t, f"control:{kind}", knob=knob,
+                            before=float(before), after=float(after))
+
+    # -- reporting --------------------------------------------------------
+    def summary(self) -> dict:
+        """JSON-safe controller record for ``report.control``."""
+        counts = {k: 0 for k in ACTION_KINDS}
+        for a in self.actions:
+            counts[a.kind] += 1
+        return {
+            "interval_ms": self.interval_s * 1e3,
+            "ticks": self.ticks,
+            "actions": actions_to_dicts(self.actions),
+            "action_counts": {k: v for k, v in counts.items() if v},
+            "final": {
+                "batch_max": self.batch_max,
+                "timeout_ms": self.timeout_s * 1e3,
+                "pressure": self.pressure,
+            },
+            "baseline": {
+                "batch_max": self.base_batch_max,
+                "timeout_ms": self.base_timeout_s * 1e3,
+            },
+        }
+
+
+__all__ = ["ControllerConfig", "ServeController",
+           "DEFAULT_INTERVAL_WINDOWS"]

@@ -1,0 +1,190 @@
+"""Multi-tenant serving: priority classes, quotas, deterministic labels.
+
+A tenant is a traffic class sharing the serving tier: it has a
+``priority`` (kept longest under pressure), a ``quota`` (the fraction
+of each per-GPU admission queue its pending requests may occupy) and a
+``weight`` (its share of the request stream).  The admission batcher
+enforces quotas at offer time — a tenant whose pending count has
+reached its slots is shed with reason ``"quota"`` regardless of global
+queue headroom — and, when the controller raises its pressure level,
+sheds requests whose priority is below that level with reason
+``"priority"``.  BGL's resource-isolation argument (see PAPERS.md)
+motivates this: co-located workloads must not be able to starve each
+other's admission path.
+
+Determinism contract: tenant labels are a pure function of
+``(tenancy seed, request id)`` via per-rid
+:class:`numpy.random.SeedSequence` spawn keys.  A request keeps its
+tenant whether the stream is served whole, split across replicas, or
+re-served at a different QPS — labelling never depends on stream
+length, order, or worker process.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.utils.errors import ConfigError
+
+_U64 = float(2**64)
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One traffic class."""
+
+    name: str
+    #: higher priorities survive higher controller pressure levels
+    priority: int = 0
+    #: max fraction of each admission queue this tenant may occupy
+    quota: float = 1.0
+    #: relative share of the request stream
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigError("tenant name must be non-empty")
+        if self.priority < 0:
+            raise ConfigError("tenant priority must be >= 0")
+        if not 0.0 < self.quota <= 1.0:
+            raise ConfigError("tenant quota must be in (0, 1]")
+        if self.weight <= 0.0:
+            raise ConfigError("tenant weight must be positive")
+
+
+@dataclass(frozen=True)
+class TenancyConfig:
+    """The tenant set plus the labelling seed."""
+
+    tenants: tuple[TenantSpec, ...]
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.tenants:
+            raise ConfigError("tenancy needs at least one tenant")
+        names = [t.name for t in self.tenants]
+        if len(set(names)) != len(names):
+            raise ConfigError(f"duplicate tenant names: {names}")
+
+    @classmethod
+    def uniform(cls, n: int, seed: int = 0) -> "TenancyConfig":
+        """``n`` equal-weight tenants with staggered priorities.
+
+        Tenant ``ti`` gets priority ``i % 3`` (so a third of the
+        classes sit at each level) and a quota of ``min(1, 2/n)`` —
+        generous enough not to bind at balanced load, tight enough
+        that a hot tenant cannot monopolise an admission queue.  This
+        is what ``repro serve --tenants N`` constructs.
+        """
+        if n < 1:
+            raise ConfigError("need at least one tenant")
+        quota = min(1.0, 2.0 / n)
+        return cls(
+            tenants=tuple(
+                TenantSpec(name=f"t{i}", priority=i % 3, quota=quota)
+                for i in range(n)
+            ),
+            seed=seed,
+        )
+
+    def max_priority(self) -> int:
+        return max(t.priority for t in self.tenants)
+
+    def _cumulative_weights(self) -> np.ndarray:
+        w = np.array([t.weight for t in self.tenants], dtype=np.float64)
+        c = np.cumsum(w / w.sum())
+        c[-1] = 1.0
+        return c
+
+    def tenant_of(self, rid: int) -> TenantSpec:
+        """The tenant of request ``rid`` — pure in ``(seed, rid)``."""
+        seq = np.random.SeedSequence(entropy=self.seed, spawn_key=(rid,))
+        u = int(seq.generate_state(1, dtype=np.uint64)[0]) / _U64
+        idx = int(np.searchsorted(self._cumulative_weights(), u,
+                                  side="right"))
+        return self.tenants[min(idx, len(self.tenants) - 1)]
+
+    def assign(self, requests):
+        """Label a request stream with tenants; order preserved.
+
+        Vectorised over the stream but equivalent to calling
+        :meth:`tenant_of` per request id — sub-streams of a split
+        stream get the same labels as the whole.
+        """
+        cum = self._cumulative_weights()
+        out = []
+        for req in requests:
+            seq = np.random.SeedSequence(entropy=self.seed,
+                                         spawn_key=(req.rid,))
+            u = int(seq.generate_state(1, dtype=np.uint64)[0]) / _U64
+            idx = min(int(np.searchsorted(cum, u, side="right")),
+                      len(self.tenants) - 1)
+            spec = self.tenants[idx]
+            out.append(replace(req, tenant=spec.name,
+                               priority=spec.priority))
+        return out
+
+
+class TenantState:
+    """Per-batcher live quota accounting.
+
+    One instance per admission queue: ``pending[name]`` counts that
+    tenant's requests currently waiting in this queue, and
+    ``quota_slots[name]`` is the hard ceiling
+    (``ceil(quota * queue_capacity)``, at least one slot so a tenant is
+    never starved outright).  The batcher increments on admission and
+    decrements when a batch departs; the invariant checker audits that
+    ``pending`` never exceeds ``quota_slots`` (invariant
+    ``tenant-quota``).
+    """
+
+    __slots__ = ("quota_slots", "pending")
+
+    def __init__(self, tenancy: TenancyConfig, queue_capacity: int):
+        self.quota_slots = {
+            t.name: max(1, math.ceil(t.quota * queue_capacity))
+            for t in tenancy.tenants
+        }
+        self.pending = {t.name: 0 for t in tenancy.tenants}
+
+
+def tenant_summary(records, slo_s: float) -> dict:
+    """Per-tenant accounting from the final request records.
+
+    Pure function of the records: completed / shed (split by reason) /
+    SLO violations / p99 per tenant, in tenant-name order.  Attached to
+    a :class:`~repro.serve.stats.ServeReport` as ``report.tenants``
+    only when tenancy is on, so default-path payloads are unchanged.
+    """
+    by_tenant: dict[str, list] = {}
+    for rec in records:
+        by_tenant.setdefault(rec.tenant or "-", []).append(rec)
+    out = {}
+    for name in sorted(by_tenant):
+        recs = by_tenant[name]
+        lat = sorted(r.latency for r in recs
+                     if not r.shed and r.done is not None)
+        sheds: dict[str, int] = {}
+        for r in recs:
+            if r.shed:
+                reason = r.shed_reason or "capacity"
+                sheds[reason] = sheds.get(reason, 0) + 1
+        out[name] = {
+            "priority": max((r.priority for r in recs), default=0),
+            "offered": len(recs),
+            "completed": len(lat),
+            "shed": sum(sheds.values()),
+            "shed_by_reason": dict(sorted(sheds.items())),
+            "slo_violations": sum(1 for v in lat if v > slo_s),
+            "p99_ms": (
+                lat[min(len(lat) - 1, int(0.99 * len(lat)))] * 1e3
+                if lat else None
+            ),
+        }
+    return out
+
+
+__all__ = ["TenantSpec", "TenancyConfig", "TenantState", "tenant_summary"]

@@ -445,6 +445,134 @@ def _tile(label: str, value: str, note: str = "",
     )
 
 
+def _control_section(serve: dict) -> str:
+    """Controller-action timeline for a served-under-control report.
+
+    Handles all three ``report.control`` shapes (see
+    ``docs/control.md``): a single tuner summary, the router's
+    ``{"replicas": [...]}`` list, and the autoscaler's
+    ``{"autoscale": ..., "replicas": [...]}`` record.
+    """
+    control = serve.get("control") or {}
+    if not control:
+        return ""
+    if "action_counts" in control:
+        tuners = [("server", control)]
+    else:
+        tuners = [(f"replica{i}", t)
+                  for i, t in enumerate(control.get("replicas") or [])
+                  if t]
+    auto = control.get("autoscale") or {}
+    end_s = serve.get("elapsed_s") or 0.0
+
+    out = ["<h2>Control plane</h2>",
+           '<p class="sub">Online knob changes made by the SLO-burn '
+           "controller; everything below is replayable from the "
+           "action log.</p>"]
+    n_actions = sum(
+        sum(t.get("action_counts", {}).values()) for _, t in tuners
+    ) + len(auto.get("actions") or ())
+    tiles = [_tile("Controller actions", _fmt(n_actions))]
+    if tuners:
+        final = tuners[0][1].get("final") or {}
+        base = tuners[0][1].get("baseline") or {}
+        if final:
+            tiles.append(_tile(
+                "Final batch max", _fmt(final.get("batch_max")),
+                f"baseline {_fmt(base.get('batch_max'))}"))
+            tiles.append(_tile(
+                "Final max-wait", f"{_fmt(final.get('timeout_ms'))}ms",
+                f"baseline {_fmt(base.get('timeout_ms'))}ms"))
+            if final.get("pressure"):
+                tiles.append(_tile("Shed pressure",
+                                   _fmt(final["pressure"]),
+                                   "priorities below are shed"))
+    if auto:
+        tiles.append(_tile(
+            "Replicas", _fmt(auto.get("final_replicas")),
+            f"peak {_fmt(auto.get('max_replicas_used'))}"))
+    out.append(f'<div class="tiles">{"".join(tiles)}</div>')
+
+    def knob_steps(actions, knob, base):
+        """Step series of one knob's value over time."""
+        pts = [(0.0, base)] if base is not None else []
+        for a in actions:
+            if a.get("knob") != knob:
+                continue
+            t = a["t_ms"] / 1e3
+            pts.append((t, a["before"]))
+            pts.append((t, a["after"]))
+        if pts and end_s > pts[-1][0]:
+            pts.append((end_s, pts[-1][1]))
+        return pts if len(pts) > 1 else []
+
+    for knob, title, unit, scale in (
+            ("timeout_ms", "Batch max-wait over time", "ms", 1.0),
+            ("batch_max", "Batch size cap over time", "", 1.0)):
+        fig = _Fig(title, "controller-applied steps; flat = no action",
+                   x_unit="s")
+        drew = False
+        for i, (name, t) in enumerate(tuners[:8]):
+            base_key = "timeout_ms" if knob == "timeout_ms" else "batch_max"
+            base = (t.get("baseline") or {}).get(base_key)
+            pts = knob_steps(t.get("actions") or [], knob, base)
+            if pts:
+                fig.add(name, [(x, v * scale) for x, v in pts], _SLOTS[i])
+                drew = True
+        if drew:
+            out.append(fig.render())
+
+    timeline = auto.get("timeline") or []
+    if timeline:
+        fig = _Fig("Serving replicas over time",
+                   "routable (active) and warming replicas per control "
+                   "interval", x_unit="s")
+        for i, key in enumerate(("active", "warming")):
+            fig.add(key, [(r["t_ms"] / 1e3, r[key]) for r in timeline],
+                    _SLOTS[i])
+        out.append(fig.render())
+
+    rows = []
+    for name, t in tuners:
+        for a in t.get("actions") or []:
+            rows.append((a["t_ms"] / 1e3, name, a))
+    for a in auto.get("actions") or []:
+        rows.append((a["t_ms"] / 1e3, "autoscaler", a))
+    rows.sort(key=lambda r: (r[0], r[1]))
+    if rows:
+        body = "".join(
+            f"<tr><td>{_fmt(t)}s</td><td>{_esc(actor)}</td>"
+            f"<td>{_esc(a['kind'])}</td><td>{_esc(a['knob'])}</td>"
+            f"<td>{_fmt(a['before'])}</td><td>{_fmt(a['after'])}</td>"
+            f"<td>{_fmt(a.get('signal'))}</td></tr>"
+            for t, actor, a in rows
+        )
+        out.append(
+            f"<details><summary>Action log ({len(rows)})</summary>"
+            "<table><tr><th>t</th><th>actor</th><th>action</th>"
+            "<th>knob</th><th>before</th><th>after</th>"
+            f"<th>signal</th></tr>{body}</table></details>"
+        )
+
+    tenants = serve.get("tenants") or {}
+    if tenants:
+        body = "".join(
+            f"<tr><td>{_esc(name)}</td><td>{_fmt(t.get('priority'))}</td>"
+            f"<td>{_fmt(t.get('offered'))}</td>"
+            f"<td>{_fmt(t.get('completed'))}</td>"
+            f"<td>{_fmt(t.get('shed'))}</td>"
+            f"<td>{_fmt(t.get('slo_violations'))}</td>"
+            f"<td>{_fmt(t.get('p99_ms'))}</td></tr>"
+            for name, t in tenants.items()
+        )
+        out.append(
+            "<h2>Tenants</h2><table><tr><th>tenant</th><th>prio</th>"
+            "<th>offered</th><th>completed</th><th>shed</th>"
+            f"<th>SLO viol.</th><th>p99 (ms)</th></tr>{body}</table>"
+        )
+    return "".join(out)
+
+
 def _serve_section(serve: dict) -> str:
     """Stat tiles + metric timelines for one serving run."""
     out: list[str] = []
@@ -483,6 +611,7 @@ def _serve_section(serve: dict) -> str:
     if not metrics:
         out.append('<p class="sub">No metrics attached — run with '
                    "<code>--metrics</code> for timelines.</p>")
+        out.append(_control_section(serve))
         return "".join(out)
 
     events = [(e["t_ms"] / 1e3, e["name"])
@@ -581,6 +710,7 @@ def _serve_section(serve: dict) -> str:
             f"({len(events)})</summary><table><tr><th>t</th>"
             f"<th>event</th></tr>{rows}</table></details>"
         )
+    out.append(_control_section(serve))
     return "".join(out)
 
 
@@ -631,7 +761,9 @@ def _chaos_section(chaos) -> str:
             ("status", "status"), ("p99_ms", "p99 (ms)"),
             ("goodput_qps", "goodput"), ("shed_rate", "shed"),
             ("degraded", "degraded"), ("violations", "invariant viol."),
-            ("slo_minutes_violated", "SLO min")]
+            ("slo_minutes_violated", "SLO min"),
+            ("slo_minutes_violated_controller", "SLO min (ctl)"),
+            ("controller_actions", "ctl actions")]
     present = [(k, t) for k, t in cols if any(k in c for c in cells)]
     head = "".join(f"<th>{_esc(t)}</th>" for _, t in present)
     body = []

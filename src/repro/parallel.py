@@ -219,12 +219,25 @@ def _cluster_point(spec: RunSpec):
 
     Pure function of the spec: the router is deterministic and every
     replica pass re-seeds the sampler, so the merged report is
-    bit-identical whichever worker executes the point.
+    bit-identical whichever worker executes the point.  A payload with
+    an ``autoscale`` key serves under the replica autoscaler instead of
+    a fixed router (same purity argument — the scaler runs on arrival
+    time, before any replica simulates).
     """
-    from repro.cluster.serve import serve_replicated
-
     p = spec.payload
     system = _shared_system(p["system"], p["config"])
+    scale = p.get("autoscale")
+    if scale is not None:
+        from repro.control.autoscale import autoscaled_serve
+
+        return autoscaled_serve(
+            system, p["workload"], p["qps"], scale=scale,
+            config=p.get("serve_config"),
+            metrics=p.get("metrics", False),
+            metrics_window_s=p.get("metrics_window_s"),
+        )
+    from repro.cluster.serve import serve_replicated
+
     return serve_replicated(
         system, p["workload"], p["qps"], router=p.get("router"),
         config=p.get("serve_config"),
@@ -233,11 +246,33 @@ def _cluster_point(spec: RunSpec):
     )
 
 
+def _control_cell(spec: RunSpec):
+    """One cell of the controller-vs-static evaluation matrix.
+
+    Builds fresh systems for every pass inside
+    :func:`repro.control.evaluate.control_cell` (serving under faults
+    must not share mutated state), so the cell is a pure function of
+    its spec — bit-identical across worker counts.
+    """
+    from repro.control.evaluate import control_cell
+
+    p = spec.payload
+    return control_cell(
+        p["system"], p["config"], p["scenario"], p["controller"],
+        workload_config=p.get("workload_config"),
+        requests=p.get("requests", 64),
+        qps=p.get("qps", 2000.0),
+        chaos_config=p.get("chaos_config"),
+        serve_config=p.get("serve_config"),
+    )
+
+
 register_handler("serve_point", _serve_point)
 register_handler("cluster_point", _cluster_point)
 register_handler("epoch", _epoch)
 register_handler("perf_bench", _perf_bench)
 register_handler("chaos_scenario", _chaos_scenario)
+register_handler("control_cell", _control_cell)
 
 
 # ----------------------------------------------------------------------

@@ -20,6 +20,23 @@ pipeline's batcher process) blocks on :meth:`next_batch` exactly like a
 side (:meth:`offer`) is called from the arrivals process at each
 request's arrival instant.  Timeout closes are driven by simulator
 timers, so no wall-clock is involved anywhere.
+
+Live knobs
+----------
+``batch_max`` / ``timeout_s`` / ``queue_capacity`` are *instance*
+attributes seeded from the frozen :class:`BatcherConfig`.  The serving
+control plane (:mod:`repro.control`) retunes them mid-run through
+:meth:`apply`; without a controller they never move, and every decision
+reads the same values the config carried — the default path is
+bit-identical to the pre-controller batcher.
+
+Tenancy and pressure
+--------------------
+With a :class:`~repro.control.tenancy.TenantState` attached, admission
+additionally enforces per-tenant quotas (shed reason ``"quota"``), and
+a controller-raised ``pressure`` level sheds requests whose priority is
+below it (shed reason ``"priority"``) before they ever occupy a queue
+slot.  Both gates are skipped entirely when unused.
 """
 
 from __future__ import annotations
@@ -30,6 +47,9 @@ from dataclasses import dataclass
 from repro.engine.simulator import Process, Simulator
 from repro.serve.workload import Request
 from repro.utils.errors import ConfigError, ReproError
+
+#: admission shed reasons, in check order
+SHED_REASONS = ("priority", "quota", "capacity")
 
 
 @dataclass(frozen=True)
@@ -52,10 +72,22 @@ class BatcherConfig:
 class AdmissionBatcher:
     """Bounded admission queue + max-size/max-wait batch former."""
 
-    def __init__(self, sim: Simulator, gpu: int, config: BatcherConfig):
+    def __init__(self, sim: Simulator, gpu: int, config: BatcherConfig,
+                 tenants=None):
         self.sim = sim
         self.gpu = gpu
         self.config = config
+        # live knobs: the controller mutates these via apply(); the
+        # frozen config stays the baseline it recovers toward
+        self.batch_max = config.batch_max
+        self.timeout_s = config.timeout_s
+        self.queue_capacity = config.queue_capacity
+        #: optional per-tenant quota accounting (TenantState)
+        self.tenants = tenants
+        #: controller pressure level: shed priority < pressure
+        self.pressure = 0
+        #: reason of the most recent shed (read by the arrivals loop)
+        self.last_shed_reason: str | None = None
         self.name = f"admit-gpu{gpu}"
         self.pending: deque[Request] = deque()
         self.shed: list[Request] = []
@@ -70,21 +102,23 @@ class AdmissionBatcher:
     # -- producer side (arrivals process) ------------------------------
     def offer(self, req: Request) -> bool:
         """Admit ``req`` at the current simulated time; False = shed."""
-        if len(self.pending) >= self.config.queue_capacity:
-            self.shed.append(req)
-            if self.sim.tracer is not None:
-                self.sim.tracer.instant(
-                    self.name, "shed", self.sim.now, cat="shed", rid=req.rid
-                )
-            if self.sim.metrics is not None:
-                shed = self._m_shed
-                if shed is None:
-                    shed = self._m_shed = self.sim.metrics.counter(
-                        "requests_shed", gpu=self.gpu
-                    )
-                shed.inc(self.sim.now)
-            return False
+        if self.pressure > req.priority:
+            return self._shed(req, "priority")
+        tenants = self.tenants
+        if tenants is not None and req.tenant is not None:
+            if (tenants.pending[req.tenant]
+                    >= tenants.quota_slots[req.tenant]):
+                return self._shed(req, "quota")
+        if len(self.pending) >= self.queue_capacity:
+            return self._shed(req, "capacity")
         self.pending.append(req)
+        if tenants is not None and req.tenant is not None:
+            tenants.pending[req.tenant] += 1
+            if self.sim.invariants is not None:
+                self.sim.invariants.on_admit(
+                    self.name, req.tenant, tenants.pending[req.tenant],
+                    tenants.quota_slots[req.tenant],
+                )
         if self.sim.tracer is not None:
             self._trace_depth()
         if self.sim.metrics is not None:
@@ -104,18 +138,68 @@ class AdmissionBatcher:
         ``None`` once the batcher is closed and drained."""
         return _NextBatch(self)
 
+    # -- control plane ----------------------------------------------------
+    def apply(self, batch_max: int | None = None,
+              timeout_s: float | None = None,
+              pressure: int | None = None) -> None:
+        """Retune live knobs at the current simulated instant.
+
+        Takes effect immediately: a shrunken ``batch_max`` or
+        ``timeout_s`` can close the pending batch right now, so the
+        batcher re-services its consumer (and re-arms the timeout
+        timer against the new deadline) after every change.
+        """
+        if batch_max is not None:
+            if batch_max < 1:
+                raise ConfigError("batch_max must be positive")
+            self.batch_max = int(batch_max)
+        if timeout_s is not None:
+            if timeout_s < 0:
+                raise ConfigError("timeout_s must be non-negative")
+            self.timeout_s = float(timeout_s)
+        if pressure is not None:
+            if pressure < 0:
+                raise ConfigError("pressure must be non-negative")
+            self.pressure = int(pressure)
+        self._service()
+
     # -- internals -------------------------------------------------------
+    def _shed(self, req: Request, reason: str) -> bool:
+        self.shed.append(req)
+        self.last_shed_reason = reason
+        if self.sim.tracer is not None:
+            self.sim.tracer.instant(
+                self.name, "shed", self.sim.now, cat="shed", rid=req.rid
+            )
+        if self.sim.metrics is not None:
+            shed = self._m_shed
+            if shed is None:
+                shed = self._m_shed = self.sim.metrics.counter(
+                    "requests_shed", gpu=self.gpu
+                )
+            shed.inc(self.sim.now)
+            if reason != "capacity":
+                self.sim.metrics.counter(
+                    "requests_shed_reason", reason=reason
+                ).inc(self.sim.now)
+        return False
+
     def _ready(self) -> bool:
         if not self.pending:
             return False
-        if len(self.pending) >= self.config.batch_max or self.closing:
+        if len(self.pending) >= self.batch_max or self.closing:
             return True
         oldest = self.pending[0].arrival
-        return self.sim.now - oldest >= self.config.timeout_s
+        return self.sim.now - oldest >= self.timeout_s
 
     def _pop_batch(self) -> list[Request]:
-        n = min(len(self.pending), self.config.batch_max)
+        n = min(len(self.pending), self.batch_max)
         batch = [self.pending.popleft() for _ in range(n)]
+        tenants = self.tenants
+        if tenants is not None:
+            for req in batch:
+                if req.tenant is not None:
+                    tenants.pending[req.tenant] -= 1
         if self.sim.tracer is not None:
             self._trace_depth()
         if self.sim.metrics is not None:
@@ -137,7 +221,7 @@ class AdmissionBatcher:
             self._arm_timer()
 
     def _arm_timer(self) -> None:
-        deadline = self.pending[0].arrival + self.config.timeout_s
+        deadline = self.pending[0].arrival + self.timeout_s
         if self._timer_deadline is not None and self._timer_deadline <= deadline:
             return  # an earlier (or equal) timer will fire and re-arm
         self._timer_deadline = deadline
@@ -153,7 +237,7 @@ class AdmissionBatcher:
         # waited timeout_s" from sim.now can disagree with the deadline
         # by one ulp and re-arm a zero-delay timer forever.
         if (self._waiter is not None and self.pending
-                and self.pending[0].arrival + self.config.timeout_s
+                and self.pending[0].arrival + self.timeout_s
                 <= deadline):
             proc, self._waiter = self._waiter, None
             self.sim.resume(proc, self._pop_batch())

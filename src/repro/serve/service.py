@@ -75,6 +75,13 @@ class ServeConfig:
     #: (attached by :func:`repro.serve.sweep.serve_once`; auditing
     #: never changes the report, it only raises on a broken simulation)
     check_invariants: bool = False
+    #: online batcher tuner (:class:`repro.control.ControllerConfig`);
+    #: None (the default) serves with static knobs, bit-identical to
+    #: the pre-control code path
+    controller: object | None = None
+    #: multi-tenant admission (:class:`repro.control.TenancyConfig`);
+    #: None serves a single anonymous tenant, bit-identically
+    tenancy: object | None = None
 
     def __post_init__(self) -> None:
         if self.slo_s <= 0:
@@ -155,6 +162,22 @@ class GNNServer:
             raise ConfigError("need at least one request")
         system, cfg, k = self.system, self.config, self.k
         met = self.metrics
+        controller = None
+        if cfg.controller is not None:
+            # the tuner reads windowed completion/violation counts, so a
+            # controlled run always streams metrics — into a private
+            # registry when the caller didn't attach one (the report's
+            # ``metrics`` field stays None either way, see serve_once)
+            from repro.control.controller import ServeController
+
+            if met is None:
+                from repro.metrics import MetricsRegistry
+
+                met = MetricsRegistry(window_s=cfg.slo_s)
+            controller = ServeController(cfg.controller, cfg, met,
+                                         tracer=self.tracer)
+        if cfg.tenancy is not None:
+            requests = cfg.tenancy.assign(requests)
         sim = Simulator(tracer=self.tracer, metrics=met)
         tracer = self.tracer
         inj = self.injector
@@ -190,7 +213,19 @@ class GNNServer:
             Resource(sim, cfg.comm_channels, name=f"serve-gpu{g}-comm")
             for g in range(k)
         ]
-        batchers = [AdmissionBatcher(sim, g, cfg.batcher()) for g in range(k)]
+        if cfg.tenancy is not None:
+            from repro.control.tenancy import TenantState
+
+            batchers = [
+                AdmissionBatcher(
+                    sim, g, cfg.batcher(),
+                    tenants=TenantState(cfg.tenancy, cfg.queue_capacity),
+                )
+                for g in range(k)
+            ]
+        else:
+            batchers = [AdmissionBatcher(sim, g, cfg.batcher())
+                        for g in range(k)]
         sampleq = [BoundedQueue(sim, cfg.pipeline_depth, name=f"gpu{g}-sampleq")
                    for g in range(k)]
         loadq = [BoundedQueue(sim, cfg.pipeline_depth, name=f"gpu{g}-serveloadq")
@@ -208,9 +243,15 @@ class GNNServer:
             seed_of[req.rid] = seed
             route_of[req.rid] = gpu
             records[req.rid] = RequestRecord(
-                rid=req.rid, node=req.node, arrival=req.arrival, gpu=gpu
+                rid=req.rid, node=req.node, arrival=req.arrival, gpu=gpu,
+                tenant=req.tenant, priority=req.priority,
             )
         batch_count = [0]
+        #: outstanding requests — the controller's termination signal
+        #: (only maintained when a controller is attached)
+        remaining = [len(requests)] if controller is not None else None
+        if controller is not None:
+            controller.install(sim, batchers, remaining)
 
         def run_op(g: int, cost, stage: str, bid: int, track: str):
             t0 = sim.now
@@ -243,8 +284,13 @@ class GNNServer:
             for req in requests:
                 if req.arrival > sim.now:
                     yield Timeout(req.arrival - sim.now)
-                if not batchers[route_of[req.rid]].offer(req):
-                    records[req.rid].shed = True
+                b = batchers[route_of[req.rid]]
+                if not b.offer(req):
+                    rec = records[req.rid]
+                    rec.shed = True
+                    rec.shed_reason = b.last_shed_reason
+                    if remaining is not None:
+                        remaining[0] -= 1
             for b in batchers:
                 b.close()
 
@@ -392,6 +438,8 @@ class GNNServer:
                             m_degr.inc(sim.now)
                         for stage, dur in rec.stages.items():
                             m_stage[stage].observe(sim.now, dur)
+                if remaining is not None:
+                    remaining[0] -= len(batch.requests)
 
         if tracer is not None:
             if plan_cache is not None:
@@ -430,7 +478,14 @@ class GNNServer:
         self.last_records = ordered
         self.last_num_batches = batch_count[0]
         self.last_accuracy = accuracy
-        return build_report(
+        report = build_report(
             system.name, offered_qps, cfg.slo_s, ordered, batch_count[0],
             accuracy=accuracy,
         )
+        if controller is not None:
+            report.control = controller.summary()
+        if cfg.tenancy is not None:
+            from repro.control.tenancy import tenant_summary
+
+            report.tenants = tenant_summary(ordered, cfg.slo_s)
+        return report

@@ -43,6 +43,9 @@ class RequestRecord:
     stages: dict = field(default_factory=dict)  # stage -> seconds
     prediction: int | None = None  # functional runs only
     degraded: bool = False  # served via a degraded path (chaos failover)
+    tenant: str | None = None  # multi-tenant serving only
+    priority: int = 0
+    shed_reason: str | None = None  # "capacity" | "quota" | "priority"
 
     @property
     def latency(self) -> float:
@@ -77,6 +80,12 @@ class ServeReport:
     #: windowed metrics summary (:func:`repro.metrics.serve_summary`)
     #: attached by ``serve_once(metrics=True)``; None otherwise
     metrics: dict | None = None
+    #: controller summary (action log + final knobs) attached by the
+    #: serving control plane when a controller ran; None otherwise
+    control: dict | None = None
+    #: per-tenant accounting (:func:`repro.control.tenant_summary`)
+    #: attached only under multi-tenant serving; None otherwise
+    tenants: dict | None = None
 
     def to_dict(self) -> dict:
         out = {
@@ -112,6 +121,13 @@ class ServeReport:
         # same contract: the key exists only when metrics were attached
         if self.metrics is not None:
             out["metrics"] = self.metrics
+        # and again for the control plane: keys exist only when a
+        # controller / tenancy actually ran, so default-path payloads
+        # stay byte-identical to pre-control outputs
+        if self.control is not None:
+            out["control"] = self.control
+        if self.tenants is not None:
+            out["tenants"] = self.tenants
         return out
 
 

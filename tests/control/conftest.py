@@ -1,0 +1,56 @@
+"""Shared fixtures for the control-plane conformance suite.
+
+Every test in this package runs on the tiny dataset at the pinned
+config below.  The serving pipeline's latency floor there is the batch
+max-wait itself (2ms by default), so SLOs at or under that floor put
+static serving in the burn regime the controller is built for — the
+pinned regression figures in these tests all live in that regime.
+"""
+
+import hashlib
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import RunConfig, build_system
+from repro.serve import WorkloadConfig, make_workload
+
+#: the pinned config every conformance digest is computed against
+CFG = RunConfig(dataset="tiny", num_gpus=2, hidden_dim=16, batch_size=8,
+                fanout=(5, 3), seed=3)
+
+#: the SLO regime where static serving burns budget (== the default
+#: batch max-wait, i.e. the pipeline's latency floor)
+TIGHT_SLO_S = 2e-3
+
+
+def digest(payload) -> str:
+    """Canonical sha256 of a JSON-safe payload (sorted keys)."""
+    return hashlib.sha256(
+        json.dumps(payload, sort_keys=True).encode()
+    ).hexdigest()
+
+
+@pytest.fixture(scope="module")
+def system():
+    return build_system("DSP", CFG)
+
+
+@pytest.fixture(scope="module")
+def nodes(system):
+    return np.arange(system.base_dataset.num_nodes)
+
+
+@pytest.fixture(scope="module")
+def diurnal(nodes):
+    """The pinned diurnal stream: 192 requests, seed 5."""
+    return make_workload(
+        WorkloadConfig(num_requests=192, arrival="diurnal", seed=5), nodes
+    )
+
+
+@pytest.fixture(scope="module")
+def poisson(nodes):
+    """A small stationary Poisson stream."""
+    return make_workload(WorkloadConfig(num_requests=64, seed=1), nodes)

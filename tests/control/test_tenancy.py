@@ -1,0 +1,207 @@
+"""Tenancy: deterministic labelling, quotas, priority shedding."""
+
+import pytest
+
+from repro.control import TenancyConfig, TenantSpec, TenantState
+from repro.engine import Simulator
+from repro.engine.simulator import Timeout
+from repro.serve import ServeConfig
+from repro.serve.batcher import AdmissionBatcher, BatcherConfig
+from repro.serve.sweep import serve_once
+from repro.serve.workload import Request
+from repro.utils import ConfigError
+
+
+class TestSpecs:
+    @pytest.mark.parametrize("kwargs", [
+        {"name": ""},
+        {"name": "a", "priority": -1},
+        {"name": "a", "quota": 0.0},
+        {"name": "a", "quota": 1.5},
+        {"name": "a", "weight": 0.0},
+    ])
+    def test_bad_spec_rejected(self, kwargs):
+        with pytest.raises(ConfigError):
+            TenantSpec(**kwargs)
+
+    def test_empty_tenancy_rejected(self):
+        with pytest.raises(ConfigError):
+            TenancyConfig(tenants=())
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ConfigError):
+            TenancyConfig(tenants=(TenantSpec("a"), TenantSpec("a")))
+
+    def test_uniform_shape(self):
+        t = TenancyConfig.uniform(5, seed=9)
+        assert [s.name for s in t.tenants] == ["t0", "t1", "t2", "t3", "t4"]
+        assert [s.priority for s in t.tenants] == [0, 1, 2, 0, 1]
+        assert all(s.quota == pytest.approx(0.4) for s in t.tenants)
+        assert t.max_priority() == 2
+
+
+class TestAssignment:
+    def test_label_is_pure_in_rid(self):
+        t = TenancyConfig.uniform(3, seed=7)
+        assert all(t.tenant_of(rid) == t.tenant_of(rid)
+                   for rid in range(50))
+
+    def test_assign_matches_tenant_of(self):
+        t = TenancyConfig.uniform(3, seed=7)
+        reqs = [Request(rid=i, node=i, arrival=i * 1e-3)
+                for i in range(64)]
+        labelled = t.assign(reqs)
+        for req in labelled:
+            assert req.tenant == t.tenant_of(req.rid).name
+            assert req.priority == t.tenant_of(req.rid).priority
+
+    def test_assignment_is_split_independent(self):
+        """Labelling a sub-stream gives the same labels the requests
+        get in the whole stream — replica splits can't skew tenants."""
+        t = TenancyConfig.uniform(4, seed=11)
+        reqs = [Request(rid=i, node=i, arrival=i * 1e-3)
+                for i in range(40)]
+        whole = {r.rid: r.tenant for r in t.assign(reqs)}
+        evens = {r.rid: r.tenant for r in t.assign(reqs[::2])}
+        rev = {r.rid: r.tenant for r in t.assign(list(reversed(reqs)))}
+        assert all(whole[rid] == ten for rid, ten in evens.items())
+        assert all(whole[rid] == ten for rid, ten in rev.items())
+
+    def test_weights_skew_the_split(self):
+        t = TenancyConfig(tenants=(TenantSpec("big", weight=9.0),
+                                   TenantSpec("small", weight=1.0)),
+                          seed=3)
+        labels = [t.tenant_of(rid).name for rid in range(400)]
+        assert labels.count("big") > 300
+
+    def test_quota_slots_floor_at_one(self):
+        t = TenancyConfig(tenants=(TenantSpec("a", quota=0.001),
+                                   TenantSpec("b")), seed=0)
+        state = TenantState(t, queue_capacity=64)
+        assert state.quota_slots["a"] == 1
+        assert state.quota_slots["b"] == 64
+        assert state.pending == {"a": 0, "b": 0}
+
+
+def batcher_harness(offers, config, tenants=None, pressure=0):
+    """Drive one batcher; returns (admitted rids, shed [(rid, reason)])."""
+    sim = Simulator()
+    b = AdmissionBatcher(sim, 0, config, tenants=tenants)
+    if pressure:
+        b.apply(pressure=pressure)
+    shed = []
+
+    def arrivals():
+        for req in offers:
+            if req.arrival > sim.now:
+                yield Timeout(req.arrival - sim.now)
+            if not b.offer(req):
+                shed.append((req.rid, b.last_shed_reason))
+        b.close()
+
+    admitted = []
+
+    def consumer():
+        while True:
+            got = yield b.next_batch()
+            if got is None:
+                return
+            admitted.extend(r.rid for r in got)
+
+    sim.spawn(arrivals(), name="arrivals")
+    sim.spawn(consumer(), name="consumer")
+    sim.run()
+    return admitted, shed
+
+
+class TestShedding:
+    def test_pressure_sheds_low_priority(self):
+        """Pressure p sheds priority < p and admits priority >= p."""
+        reqs = [Request(rid=i, node=i, arrival=0.0, priority=i % 2)
+                for i in range(8)]
+        admitted, shed = batcher_harness(
+            reqs, BatcherConfig(batch_max=8, timeout_s=1e-3), pressure=1
+        )
+        assert sorted(admitted) == [1, 3, 5, 7]
+        assert shed == [(0, "priority"), (2, "priority"),
+                        (4, "priority"), (6, "priority")]
+
+    def test_zero_pressure_sheds_nothing_by_priority(self):
+        reqs = [Request(rid=i, node=i, arrival=0.0) for i in range(4)]
+        admitted, shed = batcher_harness(
+            reqs, BatcherConfig(batch_max=8, timeout_s=1e-3)
+        )
+        assert sorted(admitted) == [0, 1, 2, 3]
+        assert shed == []
+
+    def test_quota_sheds_over_limit_tenant(self):
+        """A tenant at its slot limit sheds with reason 'quota' while
+        other tenants keep admitting."""
+        tenancy = TenancyConfig(
+            tenants=(TenantSpec("hog", quota=0.05), TenantSpec("ok")),
+            seed=0,
+        )
+        cfg = BatcherConfig(batch_max=64, timeout_s=1.0,
+                            queue_capacity=40)
+        state = TenantState(tenancy, cfg.queue_capacity)
+        assert state.quota_slots["hog"] == 2
+        reqs = [Request(rid=i, node=i, arrival=0.0, tenant="hog")
+                for i in range(4)]
+        reqs += [Request(rid=10 + i, node=i, arrival=0.0, tenant="ok")
+                 for i in range(4)]
+        admitted, shed = batcher_harness(reqs, cfg, tenants=state)
+        assert sorted(admitted) == [0, 1, 10, 11, 12, 13]
+        assert shed == [(2, "quota"), (3, "quota")]
+
+    def test_pending_released_when_batch_departs(self):
+        """Quota accounting is per-queue occupancy, not a rate limit:
+        once a batch departs, the tenant admits again."""
+        tenancy = TenancyConfig(
+            tenants=(TenantSpec("a", quota=0.05),), seed=0
+        )
+        cfg = BatcherConfig(batch_max=2, timeout_s=1e-4,
+                            queue_capacity=40)
+        state = TenantState(tenancy, cfg.queue_capacity)
+        reqs = [Request(rid=i, node=i, arrival=i * 1e-2, tenant="a")
+                for i in range(6)]
+        admitted, shed = batcher_harness(reqs, cfg, tenants=state)
+        assert sorted(admitted) == [0, 1, 2, 3, 4, 5]
+        assert shed == []
+        assert state.pending["a"] == 0
+
+
+class TestServeIntegration:
+    @pytest.fixture(scope="class")
+    def tenant_report(self, system, diurnal):
+        tenancy = TenancyConfig.uniform(3, seed=0)
+        cfg = ServeConfig(tenancy=tenancy, check_invariants=True)
+        return serve_once(system, diurnal, 3000.0, cfg)
+
+    def test_summary_present_and_conserving(self, tenant_report, diurnal):
+        tenants = tenant_report.tenants
+        assert sorted(tenants) == ["t0", "t1", "t2"]
+        assert sum(t["offered"] for t in tenants.values()) \
+            == len(diurnal.nodes)
+        for t in tenants.values():
+            assert t["offered"] == t["completed"] + t["shed"]
+            assert sum(t["shed_by_reason"].values()) == t["shed"]
+
+    def test_records_carry_tenant_labels(self, tenant_report):
+        # build_report orders records by rid; every one is labelled
+        assert tenant_report.completed + tenant_report.shed \
+            == sum(t["offered"] for t in tenant_report.tenants.values())
+
+    def test_tenancy_alone_does_not_change_latency(self, system, diurnal):
+        """Labelling requests (quotas unbinding at this load) leaves
+        the served stream itself untouched."""
+        plain = serve_once(system, diurnal, 3000.0, ServeConfig())
+        ten = serve_once(
+            system, diurnal, 3000.0,
+            ServeConfig(tenancy=TenancyConfig.uniform(2, seed=0)),
+        )
+        assert ten.p99 == plain.p99
+        assert ten.completed == plain.completed
+
+    def test_summary_priorities_follow_uniform_cycle(self, tenant_report):
+        assert [t["priority"] for _, t in
+                sorted(tenant_report.tenants.items())] == [0, 1, 2]
